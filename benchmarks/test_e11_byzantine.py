@@ -1,0 +1,26 @@
+"""Benchmark + shape check for experiment E11 (byzantine probing).
+
+Pinned observations: the crash-equivalent ``stationary`` policy gathers
+100% (byzantine subsumes crash), and the live disruption strategies
+neither prevent gathering nor slow it by more than 2x under identical
+adversaries.
+"""
+
+from repro.experiments import e11_byzantine
+
+from conftest import render
+
+
+def test_e11_byzantine(benchmark, quick):
+    tables = benchmark.pedantic(
+        e11_byzantine.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    render(tables)
+    (table,) = tables
+
+    for row in table.rows:
+        policy, n, runs, gathered, success, rounds, slowdown = row
+        assert gathered == runs, f"{policy} n={n}: {gathered}/{runs}"
+        assert slowdown == slowdown and slowdown < 2.0, (
+            f"{policy} n={n}: unexpected slowdown {slowdown}"
+        )

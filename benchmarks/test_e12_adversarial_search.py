@@ -1,0 +1,28 @@
+"""Benchmark + shape check for experiment E12 (adversarial search).
+
+Pinned separation: the greedy joint adversary reaches B against the
+ablated naive-leader on unsafe-ray workloads, and never against
+wait-free-gather (positive score floor).
+"""
+
+from repro.experiments import e12_adversarial_search
+
+from conftest import render
+
+
+def test_e12_adversarial_search(benchmark, quick):
+    tables = benchmark.pedantic(
+        e12_adversarial_search.run, kwargs={"quick": quick}, rounds=1,
+        iterations=1,
+    )
+    render(tables)
+    (table,) = tables
+
+    for row in table.rows:
+        algorithm, workload, n, hunts, reached, min_score = row
+        if algorithm == "wait-free-gather":
+            assert reached == 0, f"search cracked WFG on {workload}?!"
+            assert min_score > 0
+        if algorithm == "naive-leader" and workload == "unsafe-ray":
+            assert reached == hunts, "search failed to rediscover the trap"
+            assert min_score == 0

@@ -1,0 +1,32 @@
+"""Benchmark + shape check for experiment E13 (progress series).
+
+Pinned shapes: every representative run gathers; within class M the
+maximum multiplicity never decreases (Lemma 5.3); the series end with
+the survivors stacked on one location.
+"""
+
+from repro.experiments import e13_progress
+
+from conftest import render
+
+
+def test_e13_progress(benchmark, quick):
+    tables = benchmark.pedantic(
+        e13_progress.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    render(tables)
+    assert len(tables) == 5
+
+    for table in tables:
+        assert "verdict=gathered" in table.caption, table.caption
+        assert not any("VIOLATION" in note for note in table.notes)
+        # Multiplicity within M never regresses along the printed rows.
+        last_mult = None
+        for row in table.rows:
+            _, cls, max_mult, locations, _, _ = row
+            if cls != "M":
+                last_mult = None
+                continue
+            if last_mult is not None:
+                assert max_mult >= last_mult
+            last_mult = max_mult

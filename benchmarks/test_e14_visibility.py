@@ -1,0 +1,31 @@
+"""Benchmark + shape check for experiment E14 (limited visibility).
+
+Pinned shape: success is 100% at (near-)unlimited radii, collapses at
+small radii, and success% is monotone non-increasing as the radius
+shrinks; at least one small-radius run must end in the global-bivalent
+failure mode (the trap limited vision walks into).
+"""
+
+from repro.experiments import e14_visibility
+
+from conftest import render
+
+
+def test_e14_visibility(benchmark, quick):
+    tables = benchmark.pedantic(
+        e14_visibility.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    render(tables)
+    (table,) = tables
+
+    rows = table.rows
+    assert rows[0][0] == "unlimited"
+    assert rows[0][3] == 100.0, "the paper's model must stay at 100%"
+    success = [row[3] for row in rows]
+    assert all(a >= b for a, b in zip(success, success[1:])), (
+        f"success not monotone in radius: {success}"
+    )
+    assert success[-1] < 50.0, "smallest radius should break gathering"
+    assert any(row[5] > 0 for row in rows), (
+        "expected at least one global-bivalent ending at small radii"
+    )

@@ -1,0 +1,29 @@
+"""Benchmark + shape check for experiment E15 (chirality ablation).
+
+Pinned observation: mixed handedness never broke gathering on any
+generated workload (agreement only consults orientation in mirror-tied
+elections, which the generators do not produce), and a wholly mirrored
+world (k = n) matches the untouched world exactly.
+"""
+
+from repro.experiments import e15_chirality
+
+from conftest import render
+
+
+def test_e15_chirality(benchmark, quick):
+    tables = benchmark.pedantic(
+        e15_chirality.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    render(tables)
+    (table,) = tables
+
+    by_workload = {}
+    for row in table.rows:
+        workload, k, runs, gathered, success, rounds = row
+        assert gathered == runs, f"{workload} k={k}: {gathered}/{runs}"
+        by_workload.setdefault(workload, {})[k] = rounds
+    for workload, per_k in by_workload.items():
+        ks = sorted(per_k)
+        # k = n (a consistent mirrored world) must match k = 0 exactly.
+        assert per_k[ks[0]] == per_k[ks[-1]], workload

@@ -1,0 +1,28 @@
+"""Benchmark + shape check for experiment E16 (sensor noise).
+
+Pinned shape: gathering succeeds at every noise level, and the final
+physical diameter of the survivors stays below twice the sensing
+resolution — the algorithm degrades gracefully to whatever accuracy the
+sensors provide.
+"""
+
+from repro.experiments import e16_sensor_noise
+
+from conftest import render
+
+
+def test_e16_sensor_noise(benchmark, quick):
+    tables = benchmark.pedantic(
+        e16_sensor_noise.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    render(tables)
+    (table,) = tables
+
+    for row in table.rows:
+        noise, resolution, runs, gathered, success, rounds, final_spread = row
+        assert gathered == runs, f"noise={noise}: {gathered}/{runs}"
+        assert final_spread <= 2.0 * resolution + 1e-9, (
+            f"noise={noise}: spread {final_spread} vs resolution {resolution}"
+        )
+    # Exact sensing must remain exact.
+    assert table.rows[0][6] == 0.0

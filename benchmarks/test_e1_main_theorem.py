@@ -1,0 +1,32 @@
+"""Benchmark + shape check for experiment E1 (Theorem 5.1).
+
+Paper prediction: 100% gathering success in every cell — all classes,
+all fault budgets up to n - 1, all schedulers, all movement adversaries.
+"""
+
+from repro.experiments import e1_main_theorem
+
+from conftest import render
+
+
+def test_e1_main_theorem(benchmark, quick):
+    tables = benchmark.pedantic(
+        e1_main_theorem.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    render(tables)
+    by_class, by_adversary = tables
+
+    # Shape: every cell of E1a must be a clean sweep.
+    for row in by_class.rows:
+        workload, n, f, runs, gathered, success, _ = row
+        assert runs > 0
+        assert gathered == runs, (
+            f"Theorem 5.1 violated: {workload} n={n} f={f} "
+            f"gathered {gathered}/{runs}"
+        )
+        assert success == 100.0
+
+    # Shape: the proof-targeted adversaries fare no better.
+    for row in by_adversary.rows:
+        scheduler, crashes, runs, gathered, success, _ = row
+        assert gathered == runs, f"{scheduler}/{crashes}: {gathered}/{runs}"

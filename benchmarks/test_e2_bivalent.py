@@ -1,0 +1,31 @@
+"""Benchmark + shape check for experiment E2 (Lemma 5.2).
+
+Paper prediction: from a bivalent start, the paper's algorithm refuses
+(impossibility is decidable from one snapshot); the naive leader freezes
+under the cluster-alternating adversary; one robot of asymmetry restores
+100% gathering.  The centroid rows document a genuine discretization
+effect: in exact reals the half-split chase never terminates, but a
+simulation with 1e-9 multiplicity resolution merges the clusters after
+~log2(distance/1e-9) halving steps.
+"""
+
+from repro.experiments import e2_bivalent
+
+from conftest import render
+
+
+def test_e2_bivalent(benchmark, quick):
+    tables = benchmark.pedantic(
+        e2_bivalent.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    render(tables)
+    (table,) = tables
+
+    for row in table.rows:
+        workload, algorithm, scheduler, n, runs, gathered, impossible, stalled, timeout = row
+        if workload == "bivalent" and algorithm == "wait-free-gather":
+            assert impossible == runs, "WFG must refuse B outright"
+        if workload == "bivalent" and algorithm == "naive-leader":
+            assert stalled == runs, "tied election must freeze"
+        if workload == "near-bivalent":
+            assert gathered == runs, "one stray robot restores gathering"

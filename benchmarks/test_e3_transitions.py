@@ -1,0 +1,28 @@
+"""Benchmark + shape check for experiment E3 (Lemmas 5.3-5.9).
+
+Paper prediction: the observed class-transition graph is a subgraph of
+the proved reachability diagram, and no per-round invariant (wait
+freedom, Weber invariance, maximum-multiplicity stability, phi progress)
+is ever violated — the run itself raises on violation.
+"""
+
+from repro.experiments import e3_transitions
+
+from conftest import render
+
+
+def test_e3_transitions(benchmark, quick):
+    tables = benchmark.pedantic(
+        e3_transitions.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    render(tables)
+    (table,) = tables
+
+    assert table.rows, "no transitions observed - the sweep did not run"
+    for row in table.rows:
+        source, target, occurrences, allowed = row
+        assert occurrences > 0
+        assert allowed == "yes", f"forbidden transition {source} -> {target}"
+    # M must absorb every run: the most frequent transition is M -> M.
+    top = max(table.rows, key=lambda r: r[2])
+    assert (top[0], top[1]) == ("M", "M")

@@ -1,0 +1,40 @@
+"""Benchmark + shape check for experiment E4 (baseline comparison).
+
+Paper prediction (Section I motivation): the paper's algorithm and the
+idealized Weber oracle stay at 100% for every fault budget; the classic
+sequential algorithm collapses to ~0% the moment one crash is allowed
+(deadlock); convergence-only baselines fall behind on gathering.
+"""
+
+from repro.experiments import e4_baselines
+
+from conftest import render
+
+
+def _rows_for(table, algorithm):
+    return [row for row in table.rows if row[0] == algorithm]
+
+
+def test_e4_baselines(benchmark, quick):
+    tables = benchmark.pedantic(
+        e4_baselines.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    render(tables)
+    (table,) = tables
+
+    # The paper's algorithm: clean sweep at every f.
+    for row in _rows_for(table, "wait-free-gather"):
+        assert row[3] == 100.0, f"wait-free-gather f={row[1]}: {row[3]}%"
+
+    # The idealized Weber oracle also sweeps (it is the upper bound).
+    for row in _rows_for(table, "weber-numeric"):
+        assert row[3] == 100.0
+
+    # Sequential: fine fault-free, dead with crashes (the crossover that
+    # motivates the paper).
+    seq = {row[1]: row for row in _rows_for(table, "sequential")}
+    assert seq[0][3] == 100.0, "sequential must gather fault-free"
+    for f, row in seq.items():
+        if f >= 1:
+            assert row[3] < 50.0, f"sequential should collapse at f={f}"
+            assert row[4] > 0.0, "collapse must manifest as deadlock (stalls)"

@@ -1,0 +1,29 @@
+"""Benchmark + shape check for experiment E5 (Lemma 5.1, wait-freedom)."""
+
+from repro.experiments import e5_waitfree
+
+from conftest import render
+
+
+def test_e5_waitfree(benchmark, quick):
+    tables = benchmark.pedantic(
+        e5_waitfree.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    render(tables)
+    condition, deadlock = tables
+
+    for row in condition.rows:
+        algorithm, n, configs, max_stays, mean_stays, violations = row
+        if algorithm == "wait-free-gather":
+            assert max_stays <= 1 and violations == 0
+        if algorithm == "sequential":
+            # Every configuration with >2 occupied locations violates
+            # the condition: n - 1 locations wait.
+            assert violations == configs
+
+    for row in deadlock.rows:
+        algorithm, n, runs, gathered, stalled = row
+        if algorithm == "wait-free-gather":
+            assert gathered == runs and stalled == 0
+        if algorithm == "sequential":
+            assert stalled == runs, "mover crash must deadlock sequential"

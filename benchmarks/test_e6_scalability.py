@@ -1,0 +1,24 @@
+"""Benchmark + shape check for experiment E6 (scalability)."""
+
+from repro.experiments import e6_scalability
+
+from conftest import render
+
+
+def test_e6_scalability(benchmark, quick):
+    tables = benchmark.pedantic(
+        e6_scalability.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    render(tables)
+    (table,) = tables
+
+    for row in table.rows:
+        scheduler, n, runs, gathered, mean_rounds, max_rounds, wall = row
+        assert gathered == runs, f"{scheduler} n={n}"
+
+    # Shape: round-robin needs more rounds than FSYNC at equal n (one
+    # robot per round versus all of them).
+    fsync = {row[1]: row[4] for row in table.rows if row[0] == "fsync"}
+    rrobin = {row[1]: row[4] for row in table.rows if row[0] == "round-robin"}
+    for n in fsync:
+        assert rrobin[n] > fsync[n], f"round-robin not slower at n={n}?"

@@ -1,0 +1,28 @@
+"""Benchmark + shape check for experiment E7 (Theorem 3.1 detection)."""
+
+from repro.experiments import e7_weber_detection
+
+from conftest import render
+
+
+def test_e7_weber_detection(benchmark, quick):
+    tables = benchmark.pedantic(
+        e7_weber_detection.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    render(tables)
+    detection, negatives, invariance = tables
+
+    # Soundness & completeness on generated QR workloads.
+    for row in detection.rows:
+        workload, n, configs, detected, matched, worst = row
+        assert detected == configs, f"{workload} n={n}: missed detections"
+        assert matched == configs, f"{workload} n={n}: center != Weber point"
+        assert worst <= 1e-6
+
+    # No false positives after macroscopic tangential perturbation.
+    for row in negatives.rows:
+        assert row[3] == 0, f"false positive in {row[0]} n={row[1]}"
+
+    # Lemma 3.2: centers stay put under partial contraction.
+    for row in invariance.rows:
+        assert row[3] == 0

@@ -1,0 +1,25 @@
+"""Benchmark + shape check for experiment E8 (delta sensitivity)."""
+
+from repro.experiments import e8_delta
+
+from conftest import render
+
+
+def test_e8_delta(benchmark, quick):
+    tables = benchmark.pedantic(
+        e8_delta.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    render(tables)
+    (table,) = tables
+
+    for row in table.rows:
+        delta, runs, gathered, success, mean_rounds, max_rounds = row
+        assert success == 100.0, f"delta={delta}: {success}%"
+
+    # Shape: rounds grow as delta shrinks (roughly ~1/delta).
+    by_delta = sorted(table.rows, key=lambda r: -r[0])  # large -> small
+    rounds = [row[4] for row in by_delta]
+    assert rounds == sorted(rounds), (
+        "rounds-to-gather must be monotone in 1/delta: "
+        f"{[(r[0], r[4]) for r in by_delta]}"
+    )

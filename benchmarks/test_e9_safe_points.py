@@ -1,0 +1,32 @@
+"""Benchmark + shape check for experiment E9 (Definition 8 ablation)."""
+
+from repro.experiments import e9_safe_points
+
+from conftest import render
+
+
+def test_e9_safe_points(benchmark, quick):
+    tables = benchmark.pedantic(
+        e9_safe_points.run, kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    render(tables)
+    static, dynamic = tables
+
+    # Lemmas 4.2 / 4.3 as measured.
+    for row in static.rows:
+        workload, expected, configs, with_safe, without = row
+        if expected == "some":
+            assert with_safe == configs, f"{workload}: safe point missing"
+        else:
+            assert without == configs, f"{workload}: phantom safe point"
+
+    # The ablation: naive straight-line motion is trapped; the paper's
+    # side-step rule is immune.
+    by_algo = {}
+    for row in dynamic.rows:
+        by_algo.setdefault(row[0], []).append(row)
+    for row in by_algo["wait-free-gather"]:
+        assert row[3] == 0, "wait-free-gather entered B"
+        assert row[4] == row[2], "wait-free-gather failed to gather"
+    trapped = sum(row[3] for row in by_algo["naive-leader"])
+    assert trapped > 0, "the ablation never hit the trap - attack broken?"

@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the implementation's hot paths.
+
+Not tied to a paper table; these track the costs that dominate the
+experiment sweeps so regressions are visible: configuration
+construction (tolerant clustering), the view table, quasi-regularity
+detection, the numerical Weber solve, a single ATOM round, and a full
+fault-injected run.
+"""
+
+import pytest
+
+from repro.algorithms import WaitFreeGather
+from repro.core import (
+    Configuration,
+    classify,
+    destination_map,
+    quasi_regularity,
+    view_table,
+)
+from repro.geometry import geometric_median
+from repro.sim import RandomCrashes, RandomSubset, Simulation
+from repro.workloads import generate
+
+N = 16
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return generate("random", N, seed=42)
+
+
+def _fresh_config(points):
+    return Configuration(points)
+
+
+def test_bench_configuration_build(benchmark, cloud):
+    benchmark(_fresh_config, cloud)
+
+
+def test_bench_view_table(benchmark, cloud):
+    benchmark(lambda: view_table(Configuration(cloud)))
+
+
+def test_bench_classify(benchmark, cloud):
+    benchmark(lambda: classify(Configuration(cloud)))
+
+
+def test_bench_quasi_regularity_positive(benchmark):
+    points = generate("biangular", N, seed=7)
+    benchmark(lambda: quasi_regularity(Configuration(points)))
+
+
+def test_bench_geometric_median(benchmark, cloud):
+    benchmark(lambda: geometric_median(cloud))
+
+
+def test_bench_destination_map(benchmark, cloud):
+    benchmark(lambda: destination_map(Configuration(cloud)))
+
+
+def test_bench_single_round(benchmark, cloud):
+    def one_round():
+        sim = Simulation(WaitFreeGather(), cloud, seed=1)
+        sim.step()
+
+    benchmark(one_round)
+
+
+def test_bench_full_run_with_crashes(benchmark, cloud):
+    def full_run():
+        result = Simulation(
+            WaitFreeGather(),
+            cloud,
+            scheduler=RandomSubset(0.5),
+            crash_adversary=RandomCrashes(f=N - 1, rate=0.25),
+            seed=3,
+            max_rounds=10_000,
+        ).run()
+        assert result.gathered
+
+    benchmark(full_run)

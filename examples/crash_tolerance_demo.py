@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Search-and-rescue drill: how many crashes can each strategy survive?
+
+A team of robots sweeps a disaster area; when the mission ends, the
+survivors must regroup at a single point to be picked up.  Robots fail
+in the field — dust, falls, dead batteries — and a rally algorithm that
+waits for a dead teammate strands everyone.
+
+This demo pits the paper's WAIT-FREE-GATHER against three period
+strategies on the same missions with an increasing number of failures
+and prints the rescue statistics.
+
+Run:  python examples/crash_tolerance_demo.py
+"""
+
+from repro import (
+    ALGORITHMS,
+    RandomCrashes,
+    RandomStop,
+    RandomSubset,
+    Simulation,
+)
+from repro.sim import spread, summarize_runs
+from repro.workloads import random_points
+
+TEAM = 10
+MISSIONS = 8
+STRATEGIES = ["wait-free-gather", "sequential", "centroid", "weber-numeric"]
+
+
+def drill(strategy: str, crashes: int) -> str:
+    results = []
+    spreads = []
+    for mission in range(MISSIONS):
+        sim = Simulation(
+            ALGORITHMS[strategy](),
+            random_points(TEAM, seed=100 + mission),
+            scheduler=RandomSubset(0.5),
+            crash_adversary=RandomCrashes(f=crashes, rate=0.25),
+            movement=RandomStop(delta=0.05),
+            seed=mission,
+            max_rounds=3_000,
+        )
+        result = sim.run()
+        results.append(result)
+        spreads.append(
+            spread([result.final_positions[r] for r in result.live_ids])
+        )
+    summary = summarize_runs(results)
+    rescued = f"{summary.gathered}/{summary.runs}"
+    rounds = (
+        f"{summary.mean_rounds_gathered:7.1f}"
+        if summary.gathered
+        else "      -"
+    )
+    worst_spread = max(spreads)
+    return (
+        f"{rescued:>7}   {rounds}    {summary.stalled:>8}   {worst_spread:10.2e}"
+    )
+
+
+def main() -> None:
+    print(f"Team of {TEAM} robots, {MISSIONS} missions per cell.\n")
+    for crashes in (0, 1, 3, TEAM - 1):
+        print(f"=== {crashes} crash(es) allowed ===")
+        print(
+            f"{'strategy':>18}   rescued   mean rds    deadlocks   worst spread"
+        )
+        for strategy in STRATEGIES:
+            print(f"{strategy:>18}   {drill(strategy, crashes)}")
+        print()
+
+    print(
+        "Reading the table: 'sequential' (the classic wait-ful rally)\n"
+        "deadlocks as soon as one robot dies.  'centroid' converges onto\n"
+        "the fixpoint of its own rule - the *average of the crashed\n"
+        "robots' positions* - so the survivors rally wherever the corpses\n"
+        "happen to lie, an order of magnitude slower (its success is only\n"
+        "counted once robots merge within the 1e-9 sensor resolution; in\n"
+        "exact arithmetic it never finishes).  'weber-numeric' is the\n"
+        "idealized oracle the paper shows how to approximate exactly on\n"
+        "the computable classes.  The paper's wait-free-gather rescues\n"
+        "every mission at every fault level, at oracle-level speed."
+    )
+
+
+if __name__ == "__main__":
+    main()

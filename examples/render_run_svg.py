@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Render executions and configuration snapshots as SVG files.
+
+Produces, under ``examples/out/``:
+
+* one snapshot per configuration class (``class_<name>.svg``) with the
+  smallest enclosing circle, multiplicities, safe-point halos and the
+  exactly-computable Weber point;
+* one trajectory plot per adversary mix (``run_<name>.svg``) showing
+  every robot's path, crash sites (X), and the gathering point (ring).
+
+No plotting library is needed — the SVG is written directly.
+
+Run:  python examples/render_run_svg.py
+"""
+
+import os
+
+from repro import (
+    AdversarialStop,
+    CrashAfterMove,
+    RandomCrashes,
+    RandomStop,
+    RandomSubset,
+    RoundRobin,
+    Simulation,
+    WaitFreeGather,
+)
+from repro.core import Configuration
+from repro.viz import render_configuration, render_trace
+from repro.workloads import generate
+
+OUT = os.path.join(os.path.dirname(__file__), "out")
+
+SNAPSHOTS = [
+    "multiple",
+    "linear-unique",
+    "linear-interval",
+    "regular-polygon",
+    "biangular",
+    "qr-occupied-center",
+    "asymmetric",
+    "bivalent",
+    "unsafe-ray",
+]
+
+RUNS = [
+    (
+        "random_crashes",
+        "random",
+        dict(
+            scheduler=RandomSubset(0.5),
+            crash_adversary=RandomCrashes(f=7, rate=0.25),
+            movement=RandomStop(0.05),
+        ),
+    ),
+    (
+        "crash_after_move",
+        "regular-polygon",
+        dict(
+            scheduler=RoundRobin(),
+            crash_adversary=CrashAfterMove(f=7),
+            movement=AdversarialStop(0.2),
+        ),
+    ),
+    (
+        "fault_free_linear",
+        "linear-interval",
+        dict(),
+    ),
+]
+
+
+def main() -> None:
+    os.makedirs(OUT, exist_ok=True)
+
+    for kind in SNAPSHOTS:
+        config = Configuration(generate(kind, 8, seed=5))
+        path = os.path.join(OUT, f"class_{kind.replace('-', '_')}.svg")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(render_configuration(config, caption=f"{kind}"))
+        print(f"wrote {path}")
+
+    for name, workload, kwargs in RUNS:
+        sim = Simulation(
+            WaitFreeGather(),
+            generate(workload, 8, seed=5),
+            seed=7,
+            record_trace=True,
+            max_rounds=5_000,
+            **kwargs,
+        )
+        result = sim.run()
+        path = os.path.join(OUT, f"run_{name}.svg")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(render_trace(result.trace, result))
+        print(
+            f"wrote {path}  ({result.verdict} in {result.rounds} rounds, "
+            f"{len(result.crashed_ids)} crashes)"
+        )
+
+
+if __name__ == "__main__":
+    main()

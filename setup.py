@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline reproduction environment lacks the ``wheel`` package, which
+PEP 517 editable installs require; this shim lets
+``pip install -e . --no-build-isolation`` fall back to the classic
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""Gathering algorithms: the paper's contribution and the baselines.
+
+========================  ====================================================
+Algorithm                 Role
+========================  ====================================================
+:class:`WaitFreeGather`   The paper (Figure 2); tolerates ``f < n`` crashes.
+:class:`CentroidConvergence`  Gravitational convergence [9]; converges, never
+                          gathers, corrupted by crashed robots.
+:class:`NumericalWeberGather` Idealized move-to-Weber; upper-bound reference
+                          and ground truth for the exact QR computation.
+:class:`SequentialGather` Classic single-mover gathering; deadlocks under one
+                          crash (wait-freedom motivation, Lemma 5.1).
+:class:`NaiveLeaderGather` Election without safe points; can be driven into
+                          the bivalent trap (ablation of Definition 8).
+========================  ====================================================
+"""
+
+from .base import GatheringAlgorithm
+from .centroid import CentroidConvergence
+from .naive_leader import NaiveLeaderGather
+from .sequential import SequentialGather
+from .wait_free import WaitFreeGather
+from .weber_numeric import NumericalWeberGather
+
+__all__ = [
+    "GatheringAlgorithm",
+    "CentroidConvergence",
+    "NaiveLeaderGather",
+    "SequentialGather",
+    "WaitFreeGather",
+    "NumericalWeberGather",
+]
+
+#: Registry used by the CLI and the experiment harness.
+ALGORITHMS = {
+    cls.name: cls
+    for cls in (
+        WaitFreeGather,
+        CentroidConvergence,
+        NumericalWeberGather,
+        SequentialGather,
+        NaiveLeaderGather,
+    )
+}
+
+__all__.append("ALGORITHMS")

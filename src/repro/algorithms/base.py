@@ -1,0 +1,47 @@
+"""The interface every gathering algorithm implements.
+
+A gathering algorithm in the LCM model is a *pure function* of the
+snapshot: given the observed configuration (in the robot's own coordinate
+system) and the robot's own position within it, return the destination.
+Purity is what makes the robots oblivious — no state survives between
+cycles — and anonymous — the function never sees an identity.
+
+The simulation engine invokes :meth:`GatheringAlgorithm.compute` with the
+snapshot expressed in each robot's private frame, so implementations must
+be invariant only up to the capabilities they claim (chirality yes,
+common North no).  A property test runs the paper's algorithm in random
+frames and checks the global behaviour is frame-independent.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..core import Configuration
+from ..geometry import Point
+
+__all__ = ["GatheringAlgorithm"]
+
+
+@runtime_checkable
+class GatheringAlgorithm(Protocol):
+    """Protocol for LCM gathering algorithms.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier used in experiment tables and traces.
+    """
+
+    name: str
+
+    def compute(self, config: Configuration, me: Point) -> Point:
+        """Destination for the robot located at ``me`` given ``config``.
+
+        Both ``config`` and ``me`` are expressed in the calling robot's
+        local coordinate system; the returned point is interpreted in the
+        same system.  Implementations may raise
+        :class:`repro.core.BivalentConfigurationError` when the task is
+        provably impossible from ``config``.
+        """
+        ...

@@ -1,0 +1,29 @@
+"""Gravitational convergence baseline (reference [9] of the paper).
+
+Every robot moves towards the center of gravity of the observed
+configuration.  This *converges* — the robots approach a common location
+— but does not *gather*: the centroid moves whenever a strict subset of
+the robots moves, so the robots chase a drifting target and (except from
+symmetric starts under FSYNC) never all coincide.  Crashes make it worse:
+a crashed robot permanently drags the centroid towards itself, so the
+live robots converge to a point weighted by the corpses.
+
+The baseline exists to demonstrate the gathering-vs-convergence gap the
+paper's introduction draws (experiment E4).
+"""
+
+from __future__ import annotations
+
+from ..core import Configuration
+from ..geometry import Point, centroid
+
+__all__ = ["CentroidConvergence"]
+
+
+class CentroidConvergence:
+    """Move to the center of gravity of all observed robots."""
+
+    name = "centroid"
+
+    def compute(self, config: Configuration, me: Point) -> Point:
+        return centroid(config.points)

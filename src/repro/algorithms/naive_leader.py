@@ -1,0 +1,52 @@
+"""Ablation baseline: leader election *without* the safe-point filter.
+
+This algorithm is ``WAIT-FREE-GATHER``'s asymmetric-case rule applied
+indiscriminately: elect the position maximizing ``(mult, -sum of
+distances, view)`` over **all** occupied positions — ignoring the safe
+point restriction (Definition 8) and the special cases for linear,
+quasi-regular and bivalent configurations — and send everyone there.
+
+It is wait-free and often works, but it demonstrates precisely why the
+paper's machinery exists:
+
+* Electing an *unsafe* point can funnel ``>= ceil(n/2)`` robots down one
+  ray; an adversarial move cut-off then stacks them into a **bivalent**
+  configuration, from which no deterministic algorithm recovers
+  (Lemma 5.2).  Experiment E9 measures how often this happens on
+  near-bivalent workloads.
+* In a rotationally symmetric configuration the views tie, the "unique"
+  maximum does not exist, and anonymous robots cannot agree: this
+  implementation then falls back to the tied candidate nearest the
+  caller, which scatters the team (each orbit member pulls towards a
+  different corner) — the failure the quasi-regular Weber point rule
+  repairs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import Configuration, election_key
+from ..geometry import Point
+
+__all__ = ["NaiveLeaderGather"]
+
+
+class NaiveLeaderGather:
+    """Elect max-(mult, -distance sum, view) over all positions; no safety."""
+
+    name = "naive-leader"
+
+    def compute(self, config: Configuration, me: Point) -> Point:
+        best_key = max(election_key(config, p) for p in config.support)
+        tied: List[Point] = [
+            p
+            for p in config.support
+            if election_key(config, p) == best_key
+        ]
+        if len(tied) == 1:
+            return tied[0]
+        # Symmetric tie: anonymous robots cannot agree on a common
+        # winner; each follows the tied candidate nearest itself (a
+        # realistic — and provably inadequate — local heuristic).
+        return min(tied, key=me.distance_to)

@@ -1,0 +1,23 @@
+"""The paper's algorithm as a pluggable :class:`GatheringAlgorithm`."""
+
+from __future__ import annotations
+
+from ..core import Configuration, wait_free_gather
+from ..geometry import Point
+
+__all__ = ["WaitFreeGather"]
+
+
+class WaitFreeGather:
+    """``WAIT-FREE-GATHER`` (Bouzid–Das–Tixeuil, Figure 2).
+
+    Tolerates up to ``n - 1`` crash faults from any non-bivalent initial
+    configuration in the ATOM model with strong multiplicity detection
+    and chirality (Theorem 5.1).  This class is a thin adapter over
+    :func:`repro.core.wait_free_gather`, which holds the real logic.
+    """
+
+    name = "wait-free-gather"
+
+    def compute(self, config: Configuration, me: Point) -> Point:
+        return wait_free_gather(config, me)

@@ -1,0 +1,33 @@
+"""Executable proof obligations and statistics for the experiments."""
+
+from .adversary_search import BivalentHunt, HuntResult, bivalence_score
+from .progress import ProgressSample, ProgressTracker
+from .invariants import (
+    ALLOWED_TRANSITIONS,
+    InvariantMonitor,
+    InvariantViolation,
+    check_class_transition,
+    check_wait_freedom,
+    exact_weber_point,
+    phi,
+)
+from .statistics import mean, median, stddev, wilson_interval
+
+__all__ = [
+    "BivalentHunt",
+    "HuntResult",
+    "bivalence_score",
+    "ProgressSample",
+    "ProgressTracker",
+    "ALLOWED_TRANSITIONS",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "check_class_transition",
+    "check_wait_freedom",
+    "exact_weber_point",
+    "phi",
+    "mean",
+    "median",
+    "stddev",
+    "wilson_interval",
+]

@@ -1,0 +1,254 @@
+"""Command-line interface: ``repro-gather`` (or ``python -m repro``).
+
+Three subcommands:
+
+``simulate``
+    Run one simulation and print the outcome (optionally a round-by-round
+    transcript).
+
+``classify``
+    Generate a workload and print its Section IV classification together
+    with the derived structure (symmetry, quasi-regularity, safe points,
+    Weber point when exactly computable).
+
+``experiment``
+    Run one of the E1-E16 experiments (or ``all``) and print its tables;
+    this is how EXPERIMENTS.md was produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .algorithms import ALGORITHMS
+from .core import (
+    ConfigClass,
+    Configuration,
+    classify,
+    quasi_regularity,
+    safe_points,
+    symmetry,
+)
+from .experiments import EXPERIMENTS, run_experiment
+from .experiments.runner import (
+    Scenario,
+    make_crashes,
+    make_movement,
+    make_scheduler,
+)
+from .sim import Simulation
+from .workloads import CLASS_GENERATORS, generate
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gather",
+        description=(
+            "Wait-free gathering of mobile robots tolerating multiple "
+            "crash faults (Bouzid-Das-Tixeuil, ICDCS 2013) - reproduction"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one simulation")
+    sim.add_argument("--workload", default="random", choices=sorted(CLASS_GENERATORS))
+    sim.add_argument("--n", type=int, default=8)
+    sim.add_argument("--algorithm", default="wait-free-gather", choices=sorted(ALGORITHMS))
+    sim.add_argument("--scheduler", default="random",
+                     choices=["fsync", "round-robin", "random", "laggard", "half-split"])
+    sim.add_argument("--crashes", default="random",
+                     choices=["none", "random", "after-move", "elected"])
+    sim.add_argument("--f", type=int, default=0, help="fault budget (crashes)")
+    sim.add_argument("--movement", default="random-stop",
+                     choices=["rigid", "adversarial-stop", "random-stop", "collusive-stop"])
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--max-rounds", type=int, default=20_000)
+    sim.add_argument("--trace", action="store_true", help="print the round transcript")
+    sim.add_argument(
+        "--save-trace",
+        metavar="PATH",
+        help="write the full round-by-round trace as JSON to PATH",
+    )
+
+    cls = sub.add_parser("classify", help="classify a generated workload")
+    cls.add_argument("--workload", default="random", choices=sorted(CLASS_GENERATORS))
+    cls.add_argument("--n", type=int, default=8)
+    cls.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="run experiments E1-E16")
+    exp.add_argument("id", choices=sorted(EXPERIMENTS) + ["all"])
+    exp.add_argument("--full", action="store_true",
+                     help="full parameter sweep (slow); default is quick mode")
+    exp.add_argument("--csv", action="store_true", help="emit CSV instead of tables")
+
+    hunt = sub.add_parser(
+        "hunt",
+        help="run the greedy adversarial search for the bivalent trap",
+    )
+    hunt.add_argument("--workload", default="unsafe-ray", choices=sorted(CLASS_GENERATORS))
+    hunt.add_argument("--n", type=int, default=8)
+    hunt.add_argument("--algorithm", default="wait-free-gather", choices=sorted(ALGORITHMS))
+    hunt.add_argument("--seed", type=int, default=0)
+    hunt.add_argument("--rounds", type=int, default=40)
+
+    render = sub.add_parser(
+        "render", help="render a simulation run (or a snapshot) as SVG"
+    )
+    render.add_argument("output", help="path of the .svg file to write")
+    render.add_argument("--workload", default="random", choices=sorted(CLASS_GENERATORS))
+    render.add_argument("--n", type=int, default=8)
+    render.add_argument("--algorithm", default="wait-free-gather", choices=sorted(ALGORITHMS))
+    render.add_argument("--scheduler", default="random",
+                        choices=["fsync", "round-robin", "random", "laggard", "half-split"])
+    render.add_argument("--crashes", default="none",
+                        choices=["none", "random", "after-move", "elected"])
+    render.add_argument("--f", type=int, default=0)
+    render.add_argument("--seed", type=int, default=0)
+    render.add_argument("--snapshot", action="store_true",
+                        help="render the initial configuration only (no run)")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    points = generate(args.workload, args.n, args.seed)
+    sim = Simulation(
+        ALGORITHMS[args.algorithm](),
+        points,
+        scheduler=make_scheduler(args.scheduler),
+        crash_adversary=make_crashes(args.crashes, args.f),
+        movement=make_movement(args.movement),
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        record_trace=args.trace or bool(args.save_trace),
+    )
+    result = sim.run()
+    print(f"workload   : {args.workload} (n={args.n}, seed={args.seed})")
+    print(f"algorithm  : {args.algorithm}")
+    print(f"initial    : {result.initial_class}")
+    print(f"verdict    : {result.verdict}")
+    print(f"rounds     : {result.rounds}")
+    print(f"crashed    : {len(result.crashed_ids)} {list(result.crashed_ids)}")
+    print(f"classes    : {' -> '.join(str(c) for c in result.classes_seen)}")
+    if result.gathering_point is not None:
+        gp = result.gathering_point
+        print(f"gathered at: ({gp.x:.6f}, {gp.y:.6f})")
+    if args.trace and result.trace is not None:
+        print()
+        print(result.trace.render())
+    if args.save_trace and result.trace is not None:
+        with open(args.save_trace, "w", encoding="utf-8") as handle:
+            handle.write(result.trace.to_json(indent=2))
+        print(f"trace saved to {args.save_trace}")
+    return 0 if result.gathered or result.verdict == "impossible" else 1
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    points = generate(args.workload, args.n, args.seed)
+    config = Configuration(points)
+    cls = classify(config)
+    print(f"points : {[p.as_tuple() for p in config.points]}")
+    print(f"class  : {cls} ({cls.name})")
+    print(f"sym    : {symmetry(config)}")
+    qr = quasi_regularity(config)
+    if qr.is_quasi_regular:
+        print(f"qreg   : {qr.m} (center = ({qr.center.x:.6f}, {qr.center.y:.6f}))")
+    else:
+        print("qreg   : 1 (not quasi-regular)")
+    safes = safe_points(config)
+    print(f"safe   : {len(safes)} of {len(config.support)} occupied positions")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    ids = sorted(EXPERIMENTS) if args.id == "all" else [args.id]
+    for experiment_id in ids:
+        _, description = EXPERIMENTS[experiment_id]
+        start = time.perf_counter()
+        tables = run_experiment(experiment_id, quick=not args.full)
+        elapsed = time.perf_counter() - start
+        print(f"## {experiment_id.upper()}: {description}  ({elapsed:.1f}s)")
+        print()
+        for table in tables:
+            print(table.to_csv() if args.csv else table.render())
+            print()
+    return 0
+
+
+def _cmd_hunt(args: argparse.Namespace) -> int:
+    from .analysis import BivalentHunt
+
+    hunt = BivalentHunt(
+        ALGORITHMS[args.algorithm](),
+        generate(args.workload, args.n, args.seed),
+        seed=args.seed,
+    )
+    result = hunt.run(max_rounds=args.rounds)
+    print(f"algorithm : {args.algorithm}")
+    print(f"workload  : {args.workload} (n={args.n}, seed={args.seed})")
+    print(f"reached B : {result.reached_bivalent}")
+    print(f"min score : {result.best_score}  (0 = bivalent)")
+    print(f"final     : {result.final_class} after {result.rounds} rounds")
+    trace = ", ".join(str(s) for s in result.score_trace[:30])
+    print(f"score trace: {trace}")
+    # Reaching B against the paper's algorithm would falsify the paper.
+    if args.algorithm == "wait-free-gather" and result.reached_bivalent:
+        print("!!! bivalent reached against wait-free-gather — file a bug")
+        return 1
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from .core import Configuration
+    from .viz import render_configuration, render_trace
+
+    points = generate(args.workload, args.n, args.seed)
+    if args.snapshot:
+        svg = render_configuration(
+            Configuration(points), caption=f"{args.workload} n={args.n}"
+        )
+        verdict = "snapshot"
+    else:
+        sim = Simulation(
+            ALGORITHMS[args.algorithm](),
+            points,
+            scheduler=make_scheduler(args.scheduler),
+            crash_adversary=make_crashes(args.crashes, args.f),
+            seed=args.seed,
+            record_trace=True,
+            max_rounds=20_000,
+        )
+        result = sim.run()
+        svg = render_trace(result.trace, result)
+        verdict = f"{result.verdict} in {result.rounds} rounds"
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+    print(f"wrote {args.output} ({verdict})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "classify":
+            return _cmd_classify(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "hunt":
+            return _cmd_hunt(args)
+        if args.command == "render":
+            return _cmd_render(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not our error.
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

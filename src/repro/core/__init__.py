@@ -1,0 +1,83 @@
+"""Core of the reproduction: the paper's configuration calculus and algorithm.
+
+Layering (bottom-up): :class:`Configuration` (multiset + strong
+multiplicity detection) -> views & symmetry (Defs 2-3) -> string of angles
+(Def 4) -> regularity / quasi-regularity (Defs 5-7, Lemma 3.4) -> the
+Section IV classification -> safe points (Def 8) & election -> the
+``WAIT-FREE-GATHER`` algorithm (Figure 2).
+"""
+
+from .algorithm import (
+    L2W_ESCAPE_ANGLE,
+    SIDE_STEP_CAP,
+    destination_map,
+    wait_free_gather,
+)
+from .classification import ConfigClass, classify, is_gathering_possible
+from .configuration import Configuration
+from .election import elect, election_key
+from .errors import (
+    BivalentConfigurationError,
+    GatheringError,
+    NotAPositionError,
+)
+from .quasi_regularity import (
+    QuasiRegularityResult,
+    quasi_regularity,
+    satisfies_lemma_3_4,
+    topping_deficiency,
+)
+from .regularity import RegularityResult, regularity
+from .safe_points import is_safe_point, max_ray_load, safe_points
+from .successor import Ray, angular_resolution, periodicity, ray_structure, string_of_angles
+from .views import (
+    View,
+    equivalence_classes,
+    symmetry,
+    view_of,
+    view_table,
+    views_equal,
+)
+from .weber_point import (
+    has_unique_linear_weber_point,
+    linear_weber_points,
+    numeric_weber_point,
+)
+
+__all__ = [
+    "L2W_ESCAPE_ANGLE",
+    "SIDE_STEP_CAP",
+    "destination_map",
+    "wait_free_gather",
+    "ConfigClass",
+    "classify",
+    "is_gathering_possible",
+    "Configuration",
+    "elect",
+    "election_key",
+    "BivalentConfigurationError",
+    "GatheringError",
+    "NotAPositionError",
+    "QuasiRegularityResult",
+    "quasi_regularity",
+    "satisfies_lemma_3_4",
+    "topping_deficiency",
+    "RegularityResult",
+    "regularity",
+    "is_safe_point",
+    "max_ray_load",
+    "safe_points",
+    "Ray",
+    "periodicity",
+    "ray_structure",
+    "string_of_angles",
+    "View",
+    "equivalence_classes",
+    "symmetry",
+    "view_of",
+    "view_table",
+    "views_equal",
+    "has_unique_linear_weber_point",
+    "linear_weber_points",
+    "numeric_weber_point",
+]

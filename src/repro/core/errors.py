@@ -1,0 +1,22 @@
+"""Exceptions raised by the core algorithm layer."""
+
+from __future__ import annotations
+
+__all__ = ["GatheringError", "BivalentConfigurationError", "NotAPositionError"]
+
+
+class GatheringError(Exception):
+    """Base class for all gathering-algorithm errors."""
+
+
+class BivalentConfigurationError(GatheringError):
+    """Raised when asked to gather from a bivalent configuration.
+
+    Deterministic gathering from ``B`` is impossible (Lemma 5.2); the
+    algorithm refuses rather than moving arbitrarily, and the simulation
+    engine converts this into an ``impossible`` verdict.
+    """
+
+
+class NotAPositionError(GatheringError):
+    """Raised when a robot's claimed position is not in the configuration."""

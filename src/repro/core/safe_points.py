@@ -1,0 +1,56 @@
+"""Safe points (Definition 8) — bivalent-proof gathering targets.
+
+A robot position ``p`` is *safe* when no half-line from ``p`` carries
+``ceil(n/2)`` or more robots.  If everybody walks straight towards a safe
+point, then even if the adversary stops an arbitrary subset mid-way, no
+single location on any ray can ever accumulate half of the robots — so
+the bivalent configuration ``B`` can never form.  The election rule for
+asymmetric configurations only considers safe points for exactly this
+reason (proof of Lemma 5.6, claim C1).
+
+Counting detail: ``HF(p, q)`` excludes ``p`` itself, so robots co-located
+with ``p`` never count against any ray; robots on a common ray count with
+their multiplicities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from ..geometry import Point, direction_angle, normalize_angle
+from .configuration import Configuration
+from .successor import ray_structure
+
+__all__ = ["max_ray_load", "is_safe_point", "safe_points"]
+
+
+def max_ray_load(config: Configuration, p: Point) -> int:
+    """Largest number of robots on a single half-line from ``p``.
+
+    Robots at ``p`` are excluded (the half-line excludes its origin).
+    """
+    rays = ray_structure(config, p)
+    if not rays:
+        return 0
+    return max(ray.count for ray in rays)
+
+
+def is_safe_point(config: Configuration, p: Point) -> bool:
+    """Definition 8: every ray from ``p`` has at most ``ceil(n/2) - 1`` robots."""
+    bound = math.ceil(config.n / 2) - 1
+    return max_ray_load(config, p) <= bound
+
+
+def safe_points(config: Configuration) -> List[Point]:
+    """All safe occupied positions of ``U(C)``.
+
+    Lemma 4.2 guarantees this is non-empty for non-linear configurations;
+    Lemma 4.3 says it is empty for ``B`` and ``L2W``.  Both claims are
+    exercised by the test suite on generated workloads.
+    """
+
+    def compute() -> List[Point]:
+        return [p for p in config.support if is_safe_point(config, p)]
+
+    return config.memo("safe_points", compute)

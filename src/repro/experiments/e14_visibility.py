@@ -1,0 +1,86 @@
+"""Experiment E14 — ablating the unlimited-visibility assumption.
+
+The paper's robots see the *entire* configuration; it explicitly leaves
+limited-visibility models out of scope (Section I).  This experiment
+truncates every snapshot to a visibility radius ``R`` and sweeps ``R``
+downwards to find where — and how — the algorithm breaks.
+
+*Expected shape*: a sharp crossover around the workload's connectivity
+scale.  Above it, missing a few far robots is harmless (they are still
+headed for the same invariant targets).  Below it, the visibility graph
+disconnects and each component gathers *separately* — and when two
+components happen to contract to equal-sized stacks, the global
+configuration becomes exactly the bivalent ``B``: the algorithm walks
+into the trap it provably avoids with full vision.  The table counts
+those endings separately because they are the interesting failure mode.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..algorithms import WaitFreeGather
+from ..sim import RandomSubset, Simulation, summarize_runs
+from ..workloads import generate
+from .report import Table
+
+__all__ = ["run"]
+
+#: Radii swept; None = the paper's unlimited visibility.  Workloads are
+#: drawn in a 10 x 10 box (diameter ~14).
+RADII = [None, 14.0, 8.0, 6.0, 4.0, 2.0]
+
+
+def run(quick: bool = True) -> List[Table]:
+    seeds = range(6) if quick else range(30)
+    n = 8
+
+    table = Table(
+        "E14",
+        f"visibility-radius sweep (random workloads in a 10x10 box, "
+        f"n={n}, random scheduler)",
+        [
+            "radius",
+            "runs",
+            "gathered",
+            "success%",
+            "stalled",
+            "global bivalent",
+            "timeout",
+        ],
+    )
+    for radius in RADII:
+        results = []
+        for seed in seeds:
+            sim = Simulation(
+                WaitFreeGather(),
+                generate("random", n, seed),
+                scheduler=RandomSubset(0.6),
+                visibility=radius,
+                seed=seed,
+                max_rounds=3_000,
+            )
+            results.append(sim.run())
+        summary = summarize_runs(results)
+        table.add_row(
+            "unlimited" if radius is None else radius,
+            summary.runs,
+            summary.gathered,
+            100.0 * summary.success_rate,
+            summary.stalled,
+            summary.impossible,
+            summary.timed_out,
+        )
+    table.add_note(
+        "'global bivalent' counts runs where disconnected components "
+        "each gathered and their stacks balanced into the configuration "
+        "B - limited vision walks the algorithm into the very trap "
+        "unlimited vision provably avoids."
+    )
+    table.add_note(
+        "the paper assumes unlimited visibility and claims nothing "
+        "below the first row; the crossover locates how much of that "
+        "assumption the algorithm actually consumes on this workload "
+        "scale."
+    )
+    return [table]

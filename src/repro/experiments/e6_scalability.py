@@ -1,0 +1,69 @@
+"""Experiment E6 — scalability: rounds and wall time versus team size.
+
+The paper gives no complexity analysis beyond termination; this
+experiment characterizes the implementation: rounds to gather should
+grow mildly with ``n`` under FSYNC (a constant number of class phases,
+each contracting all robots), roughly linearly under round-robin (one
+robot per round), and wall time per round is dominated by the
+classification tower (views are O(n^2 log n)).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List
+
+from ..algorithms import WaitFreeGather
+from ..sim import Simulation, summarize_runs
+from ..workloads import generate
+from .report import Table
+from .runner import make_crashes, make_movement, make_scheduler
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True) -> List[Table]:
+    sizes = [4, 8, 16] if quick else [4, 8, 16, 32, 64]
+    seeds = range(3) if quick else range(10)
+
+    table = Table(
+        "E6",
+        "Scalability of wait-free-gather on random workloads "
+        "(f = n/2 random crashes, interruptible moves)",
+        [
+            "scheduler",
+            "n",
+            "runs",
+            "gathered",
+            "mean rounds",
+            "max rounds",
+            "mean wall s/run",
+        ],
+    )
+    for scheduler in ("fsync", "round-robin"):
+        for n in sizes:
+            results = []
+            start = time.perf_counter()
+            for seed in seeds:
+                sim = Simulation(
+                    WaitFreeGather(),
+                    generate("random", n, seed),
+                    scheduler=make_scheduler(scheduler),
+                    crash_adversary=make_crashes("random", n // 2),
+                    movement=make_movement("random-stop"),
+                    seed=seed + 1,
+                    max_rounds=30_000,
+                )
+                results.append(sim.run())
+            elapsed = time.perf_counter() - start
+            summary = summarize_runs(results)
+            table.add_row(
+                scheduler,
+                n,
+                summary.runs,
+                summary.gathered,
+                summary.mean_rounds_gathered,
+                summary.max_rounds_gathered,
+                elapsed / len(results),
+            )
+    return [table]

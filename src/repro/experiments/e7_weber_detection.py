@@ -1,0 +1,143 @@
+"""Experiment E7 — Theorem 3.1: quasi-regularity detection, validated.
+
+*Claims*:
+
+1. **Soundness & completeness**: every generated quasi-regular
+   configuration (rotationally symmetric, biangular, occupied-center
+   wildcard) is detected, and its reported center matches the certified
+   numerical Weber point to solver precision (Lemma 3.3).
+2. **No false positives**: macroscopically perturbing one robot of a
+   quasi-regular configuration destroys detection.
+3. **Lemma 3.2 in motion**: moving random subsets of robots part-way
+   towards the Weber point leaves the detected center unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..core import Configuration, classify, quasi_regularity
+from ..geometry import Point, geometric_median
+from ..workloads import break_symmetry, generate
+from .report import Table
+
+__all__ = ["run"]
+
+QR_WORKLOADS = ["regular-polygon", "biangular", "qr-occupied-center"]
+
+
+def _move_towards(points: List[Point], target: Point, rng: random.Random) -> List[Point]:
+    out: List[Point] = []
+    for p in points:
+        if rng.random() < 0.5:
+            t = rng.uniform(0.0, 0.9)
+            out.append(p + (target - p) * t)
+        else:
+            out.append(p)
+    return out
+
+
+def run(quick: bool = True) -> List[Table]:
+    seeds = range(10) if quick else range(50)
+    sizes = [6, 8] if quick else [6, 8, 10, 12, 14]
+
+    detection = Table(
+        "E7a",
+        "Theorem 3.1: quasi-regularity detection vs certified numerical "
+        "Weber point",
+        [
+            "workload",
+            "n",
+            "configs",
+            "detected QR",
+            "center = WP",
+            "max |center - WP|",
+        ],
+    )
+    for workload in QR_WORKLOADS:
+        for n in sizes:
+            detected = 0
+            matched = 0
+            worst = 0.0
+            count = 0
+            for seed in seeds:
+                points = generate(workload, n, seed)
+                config = Configuration(points)
+                count += 1
+                qr = quasi_regularity(config)
+                if not qr.is_quasi_regular:
+                    continue
+                detected += 1
+                web = geometric_median(points)
+                err = qr.center.distance_to(web.point)
+                worst = max(worst, err)
+                if web.certified and err <= 1e-6:
+                    matched += 1
+            detection.add_row(workload, n, count, detected, matched, worst)
+
+    negatives = Table(
+        "E7b",
+        "No false positives: one robot nudged *tangentially* off its ray "
+        "must break detection",
+        ["workload", "n", "configs", "still detected QR (must be 0)"],
+    )
+    for workload in QR_WORKLOADS:
+        for n in sizes:
+            false_pos = 0
+            count = 0
+            for seed in seeds:
+                original = generate(workload, n, seed)
+                center = quasi_regularity(Configuration(original)).center
+                # Tangential nudge: regularity is purely angular, so a
+                # radial displacement would (correctly!) leave the
+                # configuration quasi-regular.  Only the perpendicular
+                # component is a genuine negative.
+                # Occupied-center configurations hold a wildcard robot
+                # that can legitimately absorb one dislodged ray
+                # (Lemma 3.4), so they need two nudges to become a true
+                # negative; the unoccupied-center workloads need one.
+                nudges = 2 if workload == "qr-occupied-center" else 1
+                points = break_symmetry(
+                    original,
+                    magnitude=0.3,
+                    seed=seed,
+                    tangential_about=center,
+                    count=nudges,
+                )
+                config = Configuration(points)
+                count += 1
+                qr = quasi_regularity(config)
+                if qr.is_quasi_regular:
+                    false_pos += 1
+            negatives.add_row(workload, n, count, false_pos)
+    negatives.add_note(
+        "a 0.3-unit tangential nudge is ~8 orders of magnitude above the "
+        "angular tolerance; surviving detection would mean the detector "
+        "rounds noise into structure."
+    )
+
+    invariance = Table(
+        "E7c",
+        "Lemma 3.2: the detected center is invariant under partial "
+        "moves towards it",
+        ["workload", "n", "move trials", "center drift > 1e-6 (must be 0)"],
+    )
+    for workload in QR_WORKLOADS:
+        for n in sizes:
+            drifts = 0
+            trials = 0
+            for seed in seeds:
+                points = generate(workload, n, seed)
+                config = Configuration(points)
+                qr = quasi_regularity(config)
+                if not qr.is_quasi_regular:
+                    continue
+                rng = random.Random(seed)
+                moved = _move_towards(points, qr.center, rng)
+                trials += 1
+                after = geometric_median(moved)
+                if after.point.distance_to(qr.center) > 1e-6:
+                    drifts += 1
+            invariance.add_row(workload, n, trials, drifts)
+    return [detection, negatives, invariance]

@@ -1,0 +1,107 @@
+"""Experiment E9 — ablation of safe points (Definition 8).
+
+*Claim*: restricting the election to *safe* points is what prevents
+``WAIT-FREE-GATHER`` from ever creating a bivalent configuration.  The
+ablated ``naive-leader`` algorithm (same election, no safety filter, no
+class special-casing) can be driven into ``B`` — we run it from
+near-bivalent starts under the cluster-alternating adversary with
+adversarial move cut-offs and count how many executions *enter* the
+bivalent class.  The paper's algorithm, on the same workloads and
+adversaries, must never enter ``B`` (Lemma 5.6 C1 + Lemma 4.3).
+
+Additionally we validate the static lemmas:
+
+* Lemma 4.2 — every non-linear configuration has a safe point;
+* Lemma 4.3 — ``B`` and ``L2W`` configurations have none.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..algorithms import ALGORITHMS
+from ..core import ConfigClass, Configuration, classify, safe_points
+from ..sim import Simulation
+from ..workloads import generate
+from .report import Table
+from .runner import make_crashes, make_movement, make_scheduler
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True) -> List[Table]:
+    seeds = range(10) if quick else range(50)
+    sizes = [6, 8] if quick else [6, 8, 12]
+
+    static = Table(
+        "E9a",
+        "Lemmas 4.2/4.3: existence of safe points by configuration class",
+        ["workload", "expected", "configs", "with safe point", "without"],
+    )
+    expectations = [
+        ("asymmetric", "some"),
+        ("regular-polygon", "some"),
+        ("multiple", "some"),
+        ("near-bivalent", "some"),
+        ("bivalent", "none"),
+        ("linear-interval", "none"),
+    ]
+    for workload, expected in expectations:
+        have = 0
+        count = 0
+        for n in sizes:
+            for seed in seeds:
+                config = Configuration(generate(workload, n, seed))
+                count += 1
+                if safe_points(config):
+                    have += 1
+        static.add_row(workload, expected, count, have, count - have)
+
+    dynamic = Table(
+        "E9b",
+        "Ablation: the collusive-stop adversary vs an unsafe gathering "
+        "target (unsafe-ray workload, FSYNC) - executions entering B",
+        ["algorithm", "n", "runs", "entered B", "gathered", "stalled"],
+    )
+    for name in ("naive-leader", "wait-free-gather"):
+        for n in sizes:
+            entered_b = 0
+            gathered = 0
+            stalled = 0
+            for seed in seeds:
+                saw_b = False
+
+                def observe(record) -> None:
+                    nonlocal saw_b
+                    if classify(record.config_after) is ConfigClass.BIVALENT:
+                        saw_b = True
+
+                sim = Simulation(
+                    ALGORITHMS[name](),
+                    generate("unsafe-ray", n, seed),
+                    scheduler=make_scheduler("fsync"),
+                    crash_adversary=make_crashes("none", 0),
+                    movement=make_movement("collusive-stop"),
+                    seed=seed * 11 + 1,
+                    max_rounds=3_000,
+                    halt_on_bivalent=False,
+                )
+                sim.add_observer(observe)
+                result = sim.run()
+                if saw_b:
+                    entered_b += 1
+                if result.gathered:
+                    gathered += 1
+                if result.verdict == "stalled":
+                    stalled += 1
+            dynamic.add_row(
+                name, n, len(list(seeds)), entered_b, gathered, stalled
+            )
+    dynamic.add_note(
+        "unsafe-ray puts ceil(n/2) robots on one ray towards the "
+        "maximum-multiplicity point; naive straight-line motion lets the "
+        "collusive stop stack them into the bivalent trap (then the "
+        "election ties forever: stalled).  The side-step rule of case M "
+        "(and Def. 8 in case A) is what makes wait-free-gather immune."
+    )
+    return [static, dynamic]

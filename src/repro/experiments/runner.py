@@ -1,0 +1,121 @@
+"""Shared experiment plumbing: build-and-run simulation batches.
+
+Experiments declare *scenarios* (workload kind, team size, fault budget,
+scheduler, movement model, algorithm) and the runner executes them over a
+seed range, returning raw results for the experiment module to fold into
+its table.  Everything is deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..algorithms import ALGORITHMS, GatheringAlgorithm
+from ..sim import (
+    AdversarialStop,
+    CollusiveStop,
+    HalfSplitAdversary,
+    CrashAfterMove,
+    CrashAtRounds,
+    CrashElected,
+    FullySynchronous,
+    LaggardAdversary,
+    NoCrashes,
+    RandomCrashes,
+    RandomStop,
+    RandomSubset,
+    RigidMovement,
+    RoundRobin,
+    Simulation,
+    SimulationResult,
+)
+from ..workloads import generate
+
+__all__ = ["Scenario", "run_scenario", "run_batch", "make_scheduler", "make_crashes", "make_movement"]
+
+
+#: Scheduler factories by name; fresh instances per run (schedulers may
+#: be stateful).
+_SCHEDULERS: Dict[str, Callable[[], object]] = {
+    "fsync": FullySynchronous,
+    "round-robin": RoundRobin,
+    "random": lambda: RandomSubset(0.5),
+    "laggard": LaggardAdversary,
+    "half-split": HalfSplitAdversary,
+}
+
+_MOVEMENTS: Dict[str, Callable[[], object]] = {
+    "rigid": RigidMovement,
+    "adversarial-stop": lambda: AdversarialStop(0.2),
+    "random-stop": lambda: RandomStop(0.05),
+    "collusive-stop": lambda: CollusiveStop(0.2),
+}
+
+
+def make_scheduler(name: str):
+    """Fresh scheduler instance by registry name."""
+    return _SCHEDULERS[name]()
+
+
+def make_movement(name: str):
+    """Fresh movement model instance by registry name."""
+    return _MOVEMENTS[name]()
+
+
+def make_crashes(kind: str, f: int):
+    """Fresh crash adversary: ``none | random | after-move | elected``."""
+    if f == 0 or kind == "none":
+        return NoCrashes()
+    if kind == "random":
+        return RandomCrashes(f=f, rate=0.25)
+    if kind == "after-move":
+        return CrashAfterMove(f=f)
+    if kind == "elected":
+        return CrashElected(f=f)
+    raise ValueError(f"unknown crash adversary kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of an experiment matrix."""
+
+    workload: str
+    n: int
+    algorithm: str = "wait-free-gather"
+    scheduler: str = "random"
+    crashes: str = "random"
+    f: int = 0
+    movement: str = "random-stop"
+    max_rounds: int = 20_000
+    frames: str = "random"
+    halt_on_bivalent: bool = True
+
+    def label(self) -> str:
+        return (
+            f"{self.workload}/n={self.n}/f={self.f}/{self.scheduler}/"
+            f"{self.crashes}/{self.movement}"
+        )
+
+
+def run_scenario(scenario: Scenario, seed: int) -> SimulationResult:
+    """Execute one scenario with one seed (fully deterministic)."""
+    points = generate(scenario.workload, scenario.n, seed)
+    algorithm: GatheringAlgorithm = ALGORITHMS[scenario.algorithm]()
+    sim = Simulation(
+        algorithm,
+        points,
+        scheduler=make_scheduler(scenario.scheduler),
+        crash_adversary=make_crashes(scenario.crashes, scenario.f),
+        movement=make_movement(scenario.movement),
+        seed=seed * 2654435761 % (2**31),
+        frames=scenario.frames,
+        max_rounds=scenario.max_rounds,
+        halt_on_bivalent=scenario.halt_on_bivalent,
+    )
+    return sim.run()
+
+
+def run_batch(scenario: Scenario, seeds: Sequence[int]) -> List[SimulationResult]:
+    """Run a scenario over a seed range."""
+    return [run_scenario(scenario, seed) for seed in seeds]

@@ -1,0 +1,87 @@
+"""Planar geometry substrate for the gathering reproduction.
+
+Everything the paper's algorithm needs from the plane lives here:
+tolerant predicates, clockwise angles under chirality, smallest enclosing
+circles, convex hulls, orientation-preserving local frames, and Weber
+point machinery.  See DESIGN.md section 3 for the inventory and section 4
+for the tolerance model.
+"""
+
+from .angles import (
+    TWO_PI,
+    angle_sum_is_full_turn,
+    clockwise_angle,
+    direction_angle,
+    normalize_angle,
+    rotate_clockwise,
+    rotate_counterclockwise,
+)
+from .circle import Circle, circumcircle, smallest_enclosing_circle
+from .convex_hull import convex_hull, in_convex_hull
+from .line import HalfLine, Line, Segment
+from .point import ORIGIN, Point, centroid, distance
+from .predicates import (
+    Orientation,
+    all_collinear,
+    are_collinear,
+    on_ray,
+    orientation,
+    point_on_segment,
+    point_strictly_between,
+    points_on_open_segment,
+    points_sorted_along,
+    project_parameter,
+)
+from .tolerance import DEFAULT_TOLERANCE, Tolerance
+from .transforms import IDENTITY_FRAME, Frame, random_frame
+from .weber import (
+    WeberResult,
+    geometric_median,
+    is_weber_point,
+    linear_weber_interval,
+    sum_of_distances,
+    unit_vector_sum,
+)
+
+__all__ = [
+    "TWO_PI",
+    "angle_sum_is_full_turn",
+    "clockwise_angle",
+    "direction_angle",
+    "normalize_angle",
+    "rotate_clockwise",
+    "rotate_counterclockwise",
+    "Circle",
+    "circumcircle",
+    "smallest_enclosing_circle",
+    "convex_hull",
+    "in_convex_hull",
+    "HalfLine",
+    "Line",
+    "Segment",
+    "ORIGIN",
+    "Point",
+    "centroid",
+    "distance",
+    "Orientation",
+    "all_collinear",
+    "are_collinear",
+    "on_ray",
+    "orientation",
+    "point_on_segment",
+    "point_strictly_between",
+    "points_on_open_segment",
+    "points_sorted_along",
+    "project_parameter",
+    "DEFAULT_TOLERANCE",
+    "Tolerance",
+    "IDENTITY_FRAME",
+    "Frame",
+    "random_frame",
+    "WeberResult",
+    "geometric_median",
+    "is_weber_point",
+    "linear_weber_interval",
+    "sum_of_distances",
+    "unit_vector_sum",
+]

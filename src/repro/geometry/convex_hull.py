@@ -1,0 +1,82 @@
+"""Convex hull (paper notation ``CH(Q)``).
+
+Andrew's monotone chain, returning hull vertices in counter-clockwise
+(mathematical) order.  The paper uses the hull only to identify extreme
+robots of linear configurations and for invariant checks, but we expose a
+full implementation with membership tests since workload generators and
+the analysis package both need it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from .point import Point
+from .predicates import Orientation, orientation
+from .tolerance import DEFAULT_TOLERANCE, Tolerance
+
+__all__ = ["convex_hull", "in_convex_hull", "hull_vertices"]
+
+
+def _cross(o: Point, a: Point, b: Point) -> float:
+    return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x)
+
+
+def convex_hull(points: Iterable[Point]) -> List[Point]:
+    """Vertices of the convex hull in CCW order, collinear points dropped.
+
+    Degenerate inputs are handled naturally: a single (distinct) point
+    yields ``[p]``; a collinear set yields its two extreme points.
+    """
+    pts = sorted(set(points))
+    if len(pts) <= 1:
+        return pts
+
+    def build(seq: Sequence[Point]) -> List[Point]:
+        chain: List[Point] = []
+        for p in seq:
+            while len(chain) >= 2 and _cross(chain[-2], chain[-1], p) <= 0.0:
+                chain.pop()
+            chain.append(p)
+        return chain
+
+    lower = build(pts)
+    upper = build(list(reversed(pts)))
+    hull = lower[:-1] + upper[:-1]
+    if not hull:  # all points identical after dedup (len(pts) >= 2 distinct
+        return pts[:1]  # bitwise but may collapse under set) — defensive.
+    return hull
+
+
+def hull_vertices(
+    points: Iterable[Point], tol: Tolerance = DEFAULT_TOLERANCE
+) -> List[Point]:
+    """Alias of :func:`convex_hull` kept for call-site readability."""
+    del tol  # the monotone chain is exact on the quantized inputs
+    return convex_hull(points)
+
+
+def in_convex_hull(
+    p: Point, points: Iterable[Point], tol: Tolerance = DEFAULT_TOLERANCE
+) -> bool:
+    """Closed membership of ``p`` in ``CH(points)``.
+
+    For a hull with fewer than three vertices this degrades to segment /
+    point membership.  Boundary points count as inside (closed hull), as
+    the paper's usage requires.
+    """
+    hull = convex_hull(points)
+    if not hull:
+        return False
+    if len(hull) == 1:
+        return p.close_to(hull[0], tol)
+    if len(hull) == 2:
+        from .predicates import point_on_segment
+
+        return point_on_segment(hull[0], hull[1], p, tol)
+    for a, b in zip(hull, hull[1:] + hull[:1]):
+        if orientation(a, b, p, tol) is Orientation.CLOCKWISE:
+            # Hull is CCW; a clockwise turn means p is strictly outside
+            # edge (a, b).
+            return False
+    return True

@@ -1,0 +1,107 @@
+"""Lines, half-lines and segments (paper Section II notation).
+
+The paper writes ``line(u, v)`` for the infinite line through two points,
+``(u, v)`` / ``[u, v]`` for open/closed segments, and ``HF(u, v)`` for the
+half-line starting at (and excluding) ``u`` through ``v``.  These small
+value classes carry that notation into code; the heavy lifting is done by
+:mod:`repro.geometry.predicates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from .point import Point
+from .predicates import (
+    are_collinear,
+    on_ray,
+    point_on_segment,
+    point_strictly_between,
+    project_parameter,
+)
+from .tolerance import DEFAULT_TOLERANCE, Tolerance
+
+__all__ = ["Line", "Segment", "HalfLine"]
+
+
+@dataclass(frozen=True)
+class Line:
+    """The infinite line ``line(a, b)`` through two distinct points."""
+
+    a: Point
+    b: Point
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError("a line needs two distinct points")
+
+    def contains(self, p: Point, tol: Tolerance = DEFAULT_TOLERANCE) -> bool:
+        return are_collinear(self.a, self.b, p, tol)
+
+    def parameter_of(self, p: Point) -> float:
+        """Affine coordinate of ``p`` along the line (0 at ``a``, 1 at ``b``)."""
+        return project_parameter(self.a, self.b, p)
+
+    def point_at(self, t: float) -> Point:
+        """Inverse of :meth:`parameter_of`."""
+        return self.a + (self.b - self.a) * t
+
+    def project(self, p: Point) -> Point:
+        """Orthogonal projection of ``p`` onto the line."""
+        return self.point_at(self.parameter_of(p))
+
+
+@dataclass(frozen=True)
+class Segment:
+    """The closed segment ``[a, b]``; open/strict membership via flags."""
+
+    a: Point
+    b: Point
+
+    def length(self) -> float:
+        return self.a.distance_to(self.b)
+
+    def midpoint(self) -> Point:
+        return (self.a + self.b) / 2.0
+
+    def contains(self, p: Point, tol: Tolerance = DEFAULT_TOLERANCE) -> bool:
+        """Membership in the *closed* segment ``[a, b]``."""
+        return point_on_segment(self.a, self.b, p, tol)
+
+    def contains_strictly(
+        self, p: Point, tol: Tolerance = DEFAULT_TOLERANCE
+    ) -> bool:
+        """Membership in the *open* segment ``(a, b)``."""
+        return point_strictly_between(self.a, self.b, p, tol)
+
+    def interior_points(
+        self, points: Iterable[Point], tol: Tolerance = DEFAULT_TOLERANCE
+    ) -> List[Point]:
+        """The input points lying strictly inside the segment."""
+        return [p for p in points if self.contains_strictly(p, tol)]
+
+
+@dataclass(frozen=True)
+class HalfLine:
+    """The paper's ``HF(origin, through)``: the open ray from ``origin``.
+
+    The origin itself is *excluded* (Section II); this matters when
+    counting robots on rays for the safe-point predicate (Definition 8).
+    """
+
+    origin: Point
+    through: Point
+
+    def __post_init__(self) -> None:
+        if self.origin == self.through:
+            raise ValueError("a half-line needs two distinct points")
+
+    def contains(self, p: Point, tol: Tolerance = DEFAULT_TOLERANCE) -> bool:
+        return on_ray(self.origin, self.through, p, tol)
+
+    def count_points(
+        self, points: Iterable[Point], tol: Tolerance = DEFAULT_TOLERANCE
+    ) -> int:
+        """Number of points (with repetition) lying on the half-line."""
+        return sum(1 for p in points if self.contains(p, tol))

@@ -1,0 +1,137 @@
+"""Immutable 2-D points/vectors.
+
+``Point`` doubles as a position and a displacement vector, mirroring the
+paper's identification of robots with points of the plane.  The class is a
+frozen dataclass so points can key dictionaries (multiplicity counting in
+:class:`repro.core.configuration.Configuration`) and live in sets.
+
+Only exact (bitwise) equality is defined on ``Point`` itself — tolerant
+equality is a *relation between points and a* :class:`Tolerance` and lives
+in :func:`Point.close_to` and the predicates module, so that accidental
+``==`` never silently applies an epsilon.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+from .tolerance import DEFAULT_TOLERANCE, Tolerance
+
+__all__ = ["Point", "ORIGIN", "centroid", "distance"]
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point (or free vector) of the Euclidean plane.
+
+    The default ordering is lexicographic by ``(x, y)``; it is used only
+    for deterministic tie-breaking in canonical serializations, never for
+    geometric decisions.
+    """
+
+    x: float
+    y: float
+
+    # -- vector space ------------------------------------------------------
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Point":
+        return Point(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    # -- metric ------------------------------------------------------------
+
+    def norm(self) -> float:
+        """Euclidean length of this point read as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def norm_sq(self) -> float:
+        """Squared Euclidean length (avoids the sqrt when comparing)."""
+        return self.x * self.x + self.y * self.y
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance ``|self, other|`` (paper notation)."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def dot(self, other: "Point") -> float:
+        """Dot product of two vectors."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Z-component of the 3-D cross product.
+
+        Positive when ``other`` is counter-clockwise from ``self`` in the
+        standard mathematical orientation.  All *clockwise* reasoning in
+        the library goes through :mod:`repro.geometry.angles` so that the
+        chirality convention is stated in exactly one place.
+        """
+        return self.x * other.y - self.y * other.x
+
+    # -- construction helpers ----------------------------------------------
+
+    def normalized(self) -> "Point":
+        """Unit vector in the same direction.
+
+        Raises :class:`ZeroDivisionError` for the zero vector; callers
+        must guard with the tolerance predicate appropriate for them.
+        """
+        n = self.norm()
+        if n == 0.0:
+            raise ZeroDivisionError("cannot normalize the zero vector")
+        return Point(self.x / n, self.y / n)
+
+    def perpendicular(self) -> "Point":
+        """The vector rotated by +90 degrees (counter-clockwise)."""
+        return Point(-self.y, self.x)
+
+    def close_to(self, other: "Point", tol: Tolerance = DEFAULT_TOLERANCE) -> bool:
+        """Tolerant point identity: within ``tol.eps_dist``."""
+        return self.distance_to(other) <= tol.eps_dist
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Plain tuple, for numpy interchange and serialization."""
+        return (self.x, self.y)
+
+    def __repr__(self) -> str:  # compact, round-trippable
+        return f"Point({self.x!r}, {self.y!r})"
+
+
+#: The origin of the global coordinate system.
+ORIGIN = Point(0.0, 0.0)
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Arithmetic mean of a non-empty collection of points.
+
+    This is the "center of gravity" of the gravitational convergence
+    baseline [9]; it is *not* the Weber point.
+    """
+    pts = list(points)
+    if not pts:
+        raise ValueError("centroid of an empty collection is undefined")
+    sx = math.fsum(p.x for p in pts)
+    sy = math.fsum(p.y for p in pts)
+    return Point(sx / len(pts), sy / len(pts))
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance, free-function form used in comprehensions."""
+    return a.distance_to(b)

@@ -1,0 +1,116 @@
+"""Orientation-preserving similarity transforms and local robot frames.
+
+Each robot of the paper observes the world in its **own** coordinate
+system: its own position is the origin, its unit of distance, its North
+and its axis scale are all private.  The only shared convention is
+**chirality** — every robot agrees on the clockwise direction — which in
+transform language means every local frame is an *orientation-preserving*
+similarity (rotation + uniform scaling + translation, **no reflection**).
+
+The simulator uses :class:`Frame` to hand each robot a snapshot in its
+private coordinates and to map the computed destination back to global
+coordinates.  A property test in ``tests/`` checks the whole algorithm is
+invariant under these frames — which is precisely the paper's claim that
+the algorithm works for disoriented robots with chirality.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from .point import Point
+
+__all__ = ["Frame", "random_frame", "IDENTITY_FRAME"]
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A similarity ``global -> local``, orientation-preserving by default.
+
+    ``local = scale * R(theta) * M * (global - origin)`` where ``R`` is
+    the CCW rotation by ``theta`` and ``M`` is the identity, or a mirror
+    across the x-axis when ``mirror`` is set.  ``scale > 0`` and
+    ``mirror = False`` (the default) guarantee no reflection, hence
+    chirality is preserved: a clockwise turn in global coordinates is a
+    clockwise turn in every local frame.
+
+    ``mirror = True`` deliberately *violates* the paper's chirality
+    assumption — it exists only for the ablation experiment E15, which
+    measures what happens when some robots disagree about "clockwise".
+    """
+
+    origin: Point
+    theta: float
+    scale: float
+    mirror: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.scale > 0.0:
+            raise ValueError("frame scale must be positive (chirality)")
+        if not math.isfinite(self.scale) or not math.isfinite(self.theta):
+            raise ValueError("frame parameters must be finite")
+
+    def to_local(self, p: Point) -> Point:
+        """Express a global point in this frame."""
+        dx, dy = p.x - self.origin.x, p.y - self.origin.y
+        if self.mirror:
+            dy = -dy
+        c, s = math.cos(self.theta), math.sin(self.theta)
+        return Point(
+            self.scale * (c * dx - s * dy),
+            self.scale * (s * dx + c * dy),
+        )
+
+    def to_global(self, p: Point) -> Point:
+        """Map a point of this frame back to global coordinates."""
+        c, s = math.cos(self.theta), math.sin(self.theta)
+        x, y = p.x / self.scale, p.y / self.scale
+        gx = c * x + s * y
+        gy = -s * x + c * y
+        if self.mirror:
+            gy = -gy
+        return Point(self.origin.x + gx, self.origin.y + gy)
+
+    def with_origin(self, origin: Point) -> "Frame":
+        """Same rotation/scale/handedness anchored at a new origin.
+
+        The simulator re-anchors a robot's frame at its current position
+        before each LOOK so the robot always sees itself at ``(0, 0)``,
+        as the model prescribes.
+        """
+        return Frame(
+            origin=origin, theta=self.theta, scale=self.scale,
+            mirror=self.mirror,
+        )
+
+    def mirrored(self) -> "Frame":
+        """The same frame with flipped handedness (for experiment E15)."""
+        return Frame(
+            origin=self.origin, theta=self.theta, scale=self.scale,
+            mirror=not self.mirror,
+        )
+
+
+#: The trivial frame (global coordinates).
+IDENTITY_FRAME = Frame(origin=Point(0.0, 0.0), theta=0.0, scale=1.0)
+
+
+def random_frame(
+    rng: random.Random,
+    origin: Point = Point(0.0, 0.0),
+    scale_range: tuple = (0.1, 10.0),
+) -> Frame:
+    """Draw a random orientation-preserving frame.
+
+    The rotation is uniform on ``[0, 2*pi)``; the scale is log-uniform on
+    ``scale_range`` so that very small and very large units are equally
+    likely — robots disagree on the unit of distance arbitrarily.
+    """
+    lo, hi = scale_range
+    if not (0.0 < lo <= hi):
+        raise ValueError("scale_range must be positive and ordered")
+    theta = rng.uniform(0.0, 2.0 * math.pi)
+    scale = math.exp(rng.uniform(math.log(lo), math.log(hi)))
+    return Frame(origin=origin, theta=theta, scale=scale)

@@ -1,0 +1,255 @@
+"""Weber points (geometric medians) — Definition 1 of the paper.
+
+The Weber point of a configuration minimizes the sum of distances to all
+robots.  Its two properties that the paper exploits are implemented here:
+
+* **Invariance** (Lemma 3.2): moving points *towards* the Weber point does
+  not move it.  The test suite checks this property directly.
+* For **linear** configurations the Weber points form the median interval
+  ``[min(Med(C)), max(Med(C))]`` (Section III) — computed exactly by
+  :func:`linear_weber_interval`.
+
+For general position sets no finite algebraic algorithm exists; the paper
+side-steps this via quasi-regularity.  For validation, baselines and the
+unoccupied-center case of quasi-regularity detection we also provide a
+high-precision numerical solver (:func:`geometric_median`): a Weiszfeld
+iteration with the Vardi–Zhang correction so it converges even when the
+iterate lands on an input point.  Its convergence threshold is orders of
+magnitude below every combinatorial tolerance (see DESIGN.md section 4).
+
+An **optimality certificate** (:func:`is_weber_point`) checks the exact
+subgradient condition: ``x`` is a Weber point iff the norm of the summed
+unit vectors towards the points not at ``x`` is at most the number of
+points located at ``x``.  The certificate is what turns the numerical
+solver into a verified answer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .point import Point
+from .predicates import all_collinear, project_parameter
+from .tolerance import DEFAULT_TOLERANCE, Tolerance
+
+__all__ = [
+    "sum_of_distances",
+    "unit_vector_sum",
+    "is_weber_point",
+    "geometric_median",
+    "linear_weber_interval",
+    "WeberResult",
+]
+
+
+def sum_of_distances(x: Point, points: Iterable[Point]) -> float:
+    """``sum_{p in points} |x, p|`` — the Weber objective at ``x``."""
+    return math.fsum(x.distance_to(p) for p in points)
+
+
+def unit_vector_sum(
+    x: Point, points: Iterable[Point], tol: Tolerance = DEFAULT_TOLERANCE
+) -> Tuple[Point, int]:
+    """Summed unit vectors from ``x`` towards each point, plus co-located count.
+
+    Returns ``(s, k)`` where ``s`` is the sum of ``(p - x)/|p - x|`` over
+    points not co-located with ``x`` and ``k`` is the number of points
+    within ``tol.eps_dist`` of ``x``.  This is the subgradient data of the
+    Weber objective.
+    """
+    sx = 0.0
+    sy = 0.0
+    co_located = 0
+    for p in points:
+        d = x.distance_to(p)
+        if d <= tol.eps_dist:
+            co_located += 1
+            continue
+        sx += (p.x - x.x) / d
+        sy += (p.y - x.y) / d
+    return Point(sx, sy), co_located
+
+
+def is_weber_point(
+    x: Point,
+    points: Iterable[Point],
+    tol: Tolerance = DEFAULT_TOLERANCE,
+    slack: float = 1e-7,
+) -> bool:
+    """Exact first-order optimality certificate for the Weber objective.
+
+    ``x`` minimizes the (convex) sum of distances iff
+    ``|sum of unit vectors| <= (number of points at x)``.  ``slack``
+    absorbs rounding in the unit vectors; it is intentionally larger than
+    machine epsilon because each of up to ``n`` unit vectors carries its
+    own rounding error.
+    """
+    pts = list(points)
+    s, k = unit_vector_sum(x, pts, tol)
+    return s.norm() <= k + slack
+
+
+class WeberResult:
+    """Outcome of the numerical Weber point computation.
+
+    Attributes
+    ----------
+    point:
+        The computed minimizer.
+    iterations:
+        Number of Weiszfeld iterations performed.
+    certified:
+        Whether the subgradient certificate accepted the answer.
+    objective:
+        Sum of distances at :attr:`point`.
+    """
+
+    __slots__ = ("point", "iterations", "certified", "objective")
+
+    def __init__(
+        self, point: Point, iterations: int, certified: bool, objective: float
+    ) -> None:
+        self.point = point
+        self.iterations = iterations
+        self.certified = certified
+        self.objective = objective
+
+    def __repr__(self) -> str:
+        return (
+            f"WeberResult(point={self.point!r}, iterations={self.iterations}, "
+            f"certified={self.certified}, objective={self.objective!r})"
+        )
+
+
+def _weiszfeld_step(x: Point, pts: Sequence[Point], singular_eps: float) -> Point:
+    """One Vardi–Zhang-corrected Weiszfeld step from ``x``."""
+    wx = 0.0
+    wy = 0.0
+    wsum = 0.0
+    at_x = 0
+    rx = 0.0
+    ry = 0.0
+    for p in pts:
+        d = x.distance_to(p)
+        if d <= singular_eps:
+            at_x += 1
+            continue
+        w = 1.0 / d
+        wx += p.x * w
+        wy += p.y * w
+        wsum += w
+        rx += (p.x - x.x) * w
+        ry += (p.y - x.y) * w
+    if wsum == 0.0:
+        # Every point sits at x: x is trivially optimal.
+        return x
+    t = Point(wx / wsum, wy / wsum)
+    if at_x == 0:
+        return t
+    # Vardi–Zhang: when the iterate coincides with input point(s), pull
+    # the plain Weiszfeld target back towards x according to the ratio of
+    # the co-located mass to the residual pull.
+    r_norm = math.hypot(rx, ry)
+    if r_norm == 0.0:
+        return x
+    beta = min(1.0, at_x / r_norm)
+    return Point(x.x + (1.0 - beta) * (t.x - x.x), x.y + (1.0 - beta) * (t.y - x.y))
+
+
+def geometric_median(
+    points: Iterable[Point],
+    tol: Tolerance = DEFAULT_TOLERANCE,
+    max_iterations: int = 10_000,
+    start: Optional[Point] = None,
+) -> WeberResult:
+    """High-precision numerical Weber point (Weiszfeld + Vardi–Zhang).
+
+    For collinear inputs the median interval may be non-degenerate; this
+    function then returns the midpoint of the interval (a valid Weber
+    point) without iterating — callers needing the full interval use
+    :func:`linear_weber_interval`.
+
+    The returned :class:`WeberResult` carries a certificate; callers that
+    must not act on an uncertified answer (quasi-regularity detection)
+    check :attr:`WeberResult.certified`.
+    """
+    pts: List[Point] = list(points)
+    if not pts:
+        raise ValueError("Weber point of an empty set is undefined")
+    if len(pts) == 1:
+        return WeberResult(pts[0], 0, True, 0.0)
+
+    if all_collinear(pts, tol):
+        lo, hi = linear_weber_interval(pts, tol)
+        mid = (lo + hi) / 2.0
+        return WeberResult(mid, 0, True, sum_of_distances(mid, pts))
+
+    # Check input points first: if one of them is optimal, return it
+    # exactly (bitwise) — important because the algorithm then sends
+    # robots to an *occupied* location, creating exact multiplicities.
+    best_input = min(pts, key=lambda p: sum_of_distances(p, pts))
+    if is_weber_point(best_input, pts, tol):
+        return WeberResult(
+            best_input, 0, True, sum_of_distances(best_input, pts)
+        )
+
+    x = start if start is not None else _initial_guess(pts)
+    singular = tol.eps_solver
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        nxt = _weiszfeld_step(x, pts, singular)
+        if nxt.distance_to(x) <= tol.eps_solver:
+            x = nxt
+            break
+        x = nxt
+    certified = is_weber_point(x, pts, tol)
+    return WeberResult(x, iterations, certified, sum_of_distances(x, pts))
+
+
+def _initial_guess(pts: Sequence[Point]) -> Point:
+    """Centroid start, nudged off any input point to avoid the singularity."""
+    cx = math.fsum(p.x for p in pts) / len(pts)
+    cy = math.fsum(p.y for p in pts) / len(pts)
+    guess = Point(cx, cy)
+    if any(guess == p for p in pts):
+        span = max(p.distance_to(pts[0]) for p in pts)
+        guess = Point(cx + span * 1e-6 + 1e-12, cy)
+    return guess
+
+
+def linear_weber_interval(
+    points: Iterable[Point], tol: Tolerance = DEFAULT_TOLERANCE
+) -> Tuple[Point, Point]:
+    """Weber points of a collinear multiset: the median interval.
+
+    Returns ``(low, high)`` — the two (possibly equal) extreme Weber
+    points.  With the points sorted along their common line (counting
+    multiplicity), the interval spans the ``ceil(n/2)``-th to the
+    ``floor(n/2) + 1``-th order statistics; for odd ``n`` the two
+    coincide and the Weber point is unique.  This is the paper's
+    ``[min(Med(C)), max(Med(C))]``.
+    """
+    pts: List[Point] = list(points)
+    if not pts:
+        raise ValueError("Weber interval of an empty set is undefined")
+    if not all_collinear(pts, tol):
+        raise ValueError("linear_weber_interval requires collinear points")
+
+    anchor = pts[0]
+    far = max(pts, key=anchor.distance_to)
+    if far.close_to(anchor, tol):
+        # All points coincide.
+        return anchor, anchor
+    params = sorted(project_parameter(anchor, far, p) for p in pts)
+    n = len(params)
+    lo_t = params[(n - 1) // 2]
+    hi_t = params[n // 2]
+    direction = far - anchor
+    low = anchor + direction * lo_t
+    high = anchor + direction * hi_t
+    # Canonical order: the anchor -> far parameterization is arbitrary,
+    # so normalize to lexicographic order for deterministic callers.
+    if high < low:
+        low, high = high, low
+    return low, high

@@ -1,0 +1,77 @@
+"""ATOM-model simulator: robots, schedulers, faults, movement, engine."""
+
+from .async_engine import AsyncSimulation
+from .byzantine import (
+    AntiGatherByzantine,
+    ByzantinePolicy,
+    ElectionThiefByzantine,
+    OscillatingByzantine,
+    StationaryByzantine,
+)
+from .engine import Simulation, SimulationResult, Verdict
+from .faults import (
+    CrashAdversary,
+    CrashAfterMove,
+    CrashAtRounds,
+    CrashElected,
+    NoCrashes,
+    RandomCrashes,
+)
+from .gathering import gathered_point, is_gathered
+from .metrics import RunSummary, spread, summarize_runs
+from .movement import (
+    AdversarialStop,
+    CollusiveStop,
+    MovementModel,
+    RandomStop,
+    RigidMovement,
+)
+from .robot import Robot
+from .scheduler import (
+    FairnessWrapper,
+    HalfSplitAdversary,
+    FullySynchronous,
+    LaggardAdversary,
+    RandomSubset,
+    RoundRobin,
+    Scheduler,
+)
+from .trace import RoundRecord, Trace
+
+__all__ = [
+    "AsyncSimulation",
+    "AntiGatherByzantine",
+    "ByzantinePolicy",
+    "ElectionThiefByzantine",
+    "OscillatingByzantine",
+    "StationaryByzantine",
+    "Simulation",
+    "SimulationResult",
+    "Verdict",
+    "CrashAdversary",
+    "CrashAfterMove",
+    "CrashAtRounds",
+    "CrashElected",
+    "NoCrashes",
+    "RandomCrashes",
+    "gathered_point",
+    "is_gathered",
+    "RunSummary",
+    "spread",
+    "summarize_runs",
+    "AdversarialStop",
+    "CollusiveStop",
+    "MovementModel",
+    "RandomStop",
+    "RigidMovement",
+    "Robot",
+    "FairnessWrapper",
+    "HalfSplitAdversary",
+    "FullySynchronous",
+    "LaggardAdversary",
+    "RandomSubset",
+    "RoundRobin",
+    "Scheduler",
+    "RoundRecord",
+    "Trace",
+]

@@ -1,0 +1,255 @@
+"""ASYNC (CORDA-style) engine — beyond the paper's ATOM model.
+
+The paper proves ``WAIT-FREE-GATHER`` correct in the semi-synchronous
+ATOM model, where a robot's Look-Compute-Move cycle is *atomic*.  The
+fully asynchronous model drops that atomicity: arbitrary time may pass
+between a robot's Look and its Move, during which other robots move — so
+robots act on **stale snapshots**.  The paper leaves ASYNC open;
+experiment E10 explores it empirically with this engine.
+
+Mechanics
+---------
+Time is discretized into *ticks*.  Each live robot is in one of two
+phases:
+
+``IDLE``
+    next activation performs Look+Compute: it snapshots the *current*
+    global configuration (in its private frame), computes a destination
+    and becomes ``MOVING``;
+
+``MOVING``
+    next activation performs the Move: the movement model resolves how
+    far it gets towards its (possibly stale) destination, and the robot
+    becomes ``IDLE`` again.
+
+A scheduler picks which robots advance one phase per tick — the same
+:class:`~repro.sim.scheduler.Scheduler` objects as the ATOM engine,
+wrapped in the same fairness enforcement.  An LCM cycle therefore takes
+two (possibly far apart) activations, and interleavings where a robot
+moves towards a target that stopped being meaningful rounds ago arise
+naturally — exactly the hazard ASYNC adds.
+
+Verdicts mirror the ATOM engine (`gathered` follows Definition 9 with
+the extra requirement that no correct robot has a pending stale move).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..algorithms.base import GatheringAlgorithm
+from ..core import (
+    BivalentConfigurationError,
+    ConfigClass,
+    Configuration,
+    GatheringError,
+    classify,
+)
+from ..geometry import DEFAULT_TOLERANCE, Frame, Point, Tolerance, random_frame
+from .engine import SimulationResult, Verdict
+from .faults import CrashAdversary, NoCrashes
+from .gathering import gathered_point
+from .movement import MovementModel, RigidMovement
+from .robot import Robot
+from .scheduler import FairnessWrapper, FullySynchronous, Scheduler
+
+__all__ = ["AsyncSimulation"]
+
+
+@dataclass
+class _Pending:
+    """A computed but not yet executed move (the stale destination)."""
+
+    destination: Point
+    looked_at_tick: int
+
+
+class AsyncSimulation:
+    """Fully asynchronous execution of a gathering algorithm.
+
+    Accepts the same component types as :class:`~repro.sim.Simulation`;
+    ``max_ticks`` bounds phase activations rather than rounds (one LCM
+    cycle consumes two activations of its robot).
+    """
+
+    def __init__(
+        self,
+        algorithm: GatheringAlgorithm,
+        positions: Sequence[Point],
+        *,
+        scheduler: Optional[Scheduler] = None,
+        crash_adversary: Optional[CrashAdversary] = None,
+        movement: Optional[MovementModel] = None,
+        tol: Tolerance = DEFAULT_TOLERANCE,
+        frames: str = "random",
+        seed: int = 0,
+        fairness_bound: int = 64,
+        snap_tolerance: float = 1e-9,
+        max_ticks: int = 100_000,
+        halt_on_bivalent: bool = True,
+    ) -> None:
+        if not positions:
+            raise ValueError("a simulation needs at least one robot")
+        if frames not in ("identity", "random"):
+            raise ValueError("frames must be 'identity' or 'random'")
+        self.algorithm = algorithm
+        self.rng = random.Random(seed)
+        self.tol = tol
+        self.snap_tolerance = snap_tolerance
+        self.max_ticks = max_ticks
+        self.halt_on_bivalent = halt_on_bivalent
+        self.scheduler = FairnessWrapper(
+            scheduler or FullySynchronous(), bound=fairness_bound
+        )
+        self.crash_adversary = crash_adversary or NoCrashes()
+        self.movement = movement or RigidMovement()
+
+        self.robots: List[Robot] = []
+        for rid, pos in enumerate(positions):
+            frame = (
+                random_frame(self.rng)
+                if frames == "random"
+                else Frame(Point(0.0, 0.0), 0.0, 1.0)
+            )
+            self.robots.append(Robot(robot_id=rid, position=pos, frame=frame))
+
+        self.pending: Dict[int, _Pending] = {}
+        self.tick = 0
+        self._last_active: Dict[int, int] = {}
+        self._last_moved: Set[int] = set()
+        self.stale_moves = 0  # moves whose target was computed >1 tick ago
+
+    # -- accessors ---------------------------------------------------------------
+
+    def positions(self) -> Dict[int, Point]:
+        return {r.robot_id: r.position for r in self.robots}
+
+    def live_ids(self) -> List[int]:
+        return [r.robot_id for r in self.robots if r.live]
+
+    def configuration(self) -> Configuration:
+        return Configuration([r.position for r in self.robots], self.tol)
+
+    # -- phase step -----------------------------------------------------------------
+
+    def _snap(self, dest: Point, config: Configuration) -> Point:
+        best, best_d = None, self.snap_tolerance
+        for p in config.support:
+            d = dest.distance_to(p)
+            if d <= best_d:
+                best, best_d = p, d
+        return best if best is not None else dest
+
+    def step(self) -> None:
+        """Advance one tick: crashes, then one phase for each activated robot."""
+        crash_now = self.crash_adversary.crashes(
+            self.tick,
+            self.live_ids(),
+            self.positions(),
+            set(self._last_moved),
+            self.rng,
+        )
+        for robot in self.robots:
+            if robot.robot_id in crash_now:
+                robot.crash(self.tick)
+                self.pending.pop(robot.robot_id, None)
+
+        active = self.scheduler.select(
+            self.tick, self.live_ids(), self.rng, self._last_active,
+            positions=self.positions(),
+        )
+
+        config_now = self.configuration()
+        moved: List[int] = []
+        for robot in self.robots:
+            rid = robot.robot_id
+            if rid not in active:
+                continue
+            self._last_active[rid] = self.tick
+            entry = self.pending.get(rid)
+            if entry is None:
+                # LOOK + COMPUTE against the *current* configuration.
+                frame = robot.anchored_frame()
+                local_points = [frame.to_local(r.position) for r in self.robots]
+                local_config = Configuration(local_points, self.tol)
+                dest_local = self.algorithm.compute(
+                    local_config, frame.to_local(robot.position)
+                )
+                dest = self._snap(frame.to_global(dest_local), config_now)
+                self.pending[rid] = _Pending(dest, self.tick)
+            else:
+                # MOVE towards the (possibly stale) destination.
+                if entry.looked_at_tick < self.tick - 1:
+                    self.stale_moves += 1
+                end = self.movement.endpoint(
+                    robot.position, entry.destination, self.rng
+                )
+                if end.distance_to(entry.destination) <= self.tol.eps_dist:
+                    end = entry.destination
+                if end != robot.position:
+                    robot.distance_travelled += robot.position.distance_to(end)
+                    robot.position = end
+                    moved.append(rid)
+                del self.pending[rid]
+        self._last_moved = set(moved)
+        self.tick += 1
+
+    # -- run loop ----------------------------------------------------------------------
+
+    def _gathered_now(self) -> Optional[Point]:
+        spot = gathered_point(self.positions(), self.live_ids(), self.tol)
+        if spot is None:
+            return None
+        # No live robot may hold a pending move to a different point.
+        for rid, entry in self.pending.items():
+            if self.robots[rid].live and not entry.destination.close_to(
+                spot, self.tol
+            ):
+                return None
+        config = self.configuration()
+        try:
+            dest = self.algorithm.compute(config, spot)
+        except GatheringError:
+            return None
+        return spot if dest.close_to(spot, self.tol) else None
+
+    def run(self) -> SimulationResult:
+        classes_seen: List[ConfigClass] = []
+        verdict = Verdict.MAX_ROUNDS
+        while self.tick < self.max_ticks:
+            spot = self._gathered_now()
+            if spot is not None:
+                verdict = Verdict.GATHERED
+                break
+            config = self.configuration()
+            cls = classify(config)
+            if not classes_seen or classes_seen[-1] is not cls:
+                classes_seen.append(cls)
+            if cls is ConfigClass.BIVALENT and self.halt_on_bivalent:
+                verdict = Verdict.IMPOSSIBLE
+                break
+            try:
+                self.step()
+            except BivalentConfigurationError:
+                verdict = Verdict.IMPOSSIBLE
+                break
+
+        spot = self._gathered_now()
+        return SimulationResult(
+            verdict=verdict,
+            rounds=self.tick,
+            final_positions=self.positions(),
+            live_ids=tuple(self.live_ids()),
+            crashed_ids=tuple(
+                r.robot_id for r in self.robots if r.crashed
+            ),
+            gathering_point=spot,
+            total_distance=sum(r.distance_travelled for r in self.robots),
+            trace=None,
+            initial_class=classes_seen[0]
+            if classes_seen
+            else classify(self.configuration()),
+            classes_seen=tuple(classes_seen),
+        )

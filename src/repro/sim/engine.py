@@ -1,0 +1,515 @@
+"""The ATOM round engine — the heart of the simulator.
+
+Each round (Section II):
+
+1. the **crash adversary** may crash robots (a crashed robot never acts
+   again but stays visible);
+2. the **scheduler** activates a subset of the live robots, with
+   fairness enforced mechanically;
+3. every active robot performs an atomic LOOK–COMPUTE–MOVE: it receives
+   the *same* global snapshot expressed in its private frame, runs the
+   algorithm, and the **movement model** resolves how far the resulting
+   move actually gets (the ``delta`` guarantee).
+
+All moves of a round are applied simultaneously — this is precisely the
+ATOM semantics that distinguishes the model from ASYNC.
+
+Exactness plumbing
+------------------
+The algorithm runs in each robot's local frame, so destinations suffer a
+round-trip through an affine similarity (~1e-12 relative error).  The
+engine *snaps* a computed global destination onto an existing robot
+position when within ``snap_tolerance``; physically this says a robot
+that decides "go to where that robot stands" reaches exactly that spot.
+Likewise a move ending within tolerance of its destination ends exactly
+there.  Multiplicities therefore form bitwise, which keeps the strong
+multiplicity detection of the core layer exact.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..algorithms.base import GatheringAlgorithm
+from ..core import (
+    BivalentConfigurationError,
+    ConfigClass,
+    Configuration,
+    GatheringError,
+    classify,
+)
+from ..geometry import DEFAULT_TOLERANCE, Frame, Point, Tolerance, random_frame
+from .faults import CrashAdversary, NoCrashes
+from .gathering import gathered_point
+from .movement import MovementModel, RigidMovement
+from .robot import Robot
+from .scheduler import FairnessWrapper, FullySynchronous, Scheduler
+from .trace import RoundRecord, Trace
+
+__all__ = ["Simulation", "SimulationResult", "Verdict"]
+
+
+class Verdict:
+    """Terminal states of a simulation run (string constants)."""
+
+    GATHERED = "gathered"
+    MAX_ROUNDS = "max-rounds"
+    IMPOSSIBLE = "impossible"  # bivalent configuration encountered
+    STALLED = "stalled"  # algorithm fixpoint that is not gathered
+
+
+@dataclass
+class SimulationResult:
+    """Outcome and metrics of one simulation run."""
+
+    verdict: str
+    rounds: int
+    final_positions: Dict[int, Point]
+    live_ids: Tuple[int, ...]
+    crashed_ids: Tuple[int, ...]
+    gathering_point: Optional[Point]
+    total_distance: float
+    trace: Optional[Trace]
+    initial_class: ConfigClass
+    classes_seen: Tuple[ConfigClass, ...]
+
+    @property
+    def gathered(self) -> bool:
+        return self.verdict == Verdict.GATHERED
+
+
+#: Observer signature: called after every round with the fresh record.
+Observer = Callable[[RoundRecord], None]
+
+
+class Simulation:
+    """One configured run of an algorithm in the ATOM model.
+
+    Parameters
+    ----------
+    algorithm:
+        The gathering algorithm under test.
+    positions:
+        Initial global positions, one per robot.
+    scheduler / crash_adversary / movement:
+        Model components; defaults are the benign ones (FSYNC, no
+        crashes, rigid moves).
+    frames:
+        ``"identity"`` runs all robots in the global frame (useful for
+        debugging); ``"random"`` gives each robot a private random
+        rotation + scale, exercising disorientation-with-chirality.
+    fairness_bound:
+        Max rounds a live robot may be starved before force-activation.
+    snap_tolerance:
+        Distance under which computed destinations are snapped onto
+        existing robot positions (see module docstring).  The default
+        equals the distance quantum: just enough to undo frame
+        round-trip noise, small enough never to *relocate* a target
+        (a larger snap would bend rays near the Weber point and poison
+        the string of angles).
+    record_trace:
+        Keep full per-round records (memory-heavy for long runs).
+    """
+
+    def __init__(
+        self,
+        algorithm: GatheringAlgorithm,
+        positions: Sequence[Point],
+        *,
+        scheduler: Optional[Scheduler] = None,
+        crash_adversary: Optional[CrashAdversary] = None,
+        movement: Optional[MovementModel] = None,
+        tol: Tolerance = DEFAULT_TOLERANCE,
+        frames: str = "random",
+        seed: int = 0,
+        fairness_bound: int = 32,
+        snap_tolerance: float = 1e-9,
+        max_rounds: int = 50_000,
+        record_trace: bool = False,
+        halt_on_bivalent: bool = True,
+        byzantine: Optional[Dict[int, "ByzantinePolicy"]] = None,
+        visibility: Optional[float] = None,
+        mirrored: Optional[Set[int]] = None,
+        sensor_noise: float = 0.0,
+    ) -> None:
+        if not positions:
+            raise ValueError("a simulation needs at least one robot")
+        if frames not in ("identity", "random"):
+            raise ValueError("frames must be 'identity' or 'random'")
+        self.algorithm = algorithm
+        self.rng = random.Random(seed)
+        self.tol = tol
+        self.snap_tolerance = snap_tolerance
+        self.max_rounds = max_rounds
+        self.scheduler = FairnessWrapper(
+            scheduler or FullySynchronous(), bound=fairness_bound
+        )
+        self.crash_adversary = crash_adversary or NoCrashes()
+        self.movement = movement or RigidMovement()
+        # With halt_on_bivalent the engine stops as soon as the (provably
+        # hopeless) bivalent configuration appears; switching it off lets
+        # experiment E2 watch how baseline algorithms actually behave
+        # from B (thrash, stall, or luckily escape under FSYNC).
+        self.halt_on_bivalent = halt_on_bivalent
+        # Byzantine robots: adversary-controlled, visible, activated and
+        # crash-prone like everyone else — but their destinations come
+        # from their policy, not the algorithm (experiment E11).
+        self.byzantine: Dict[int, object] = dict(byzantine or {})
+        for rid in self.byzantine:
+            if not 0 <= rid < len(positions):
+                raise ValueError(f"byzantine id {rid} out of range")
+        # Assumption-ablation knobs (experiments E14/E15): a finite
+        # visibility radius truncates every snapshot to nearby robots
+        # (the paper requires unlimited visibility); `mirrored` lists
+        # robots whose private frames flip handedness (violating the
+        # chirality assumption).
+        if visibility is not None and visibility <= 0:
+            raise ValueError("visibility radius must be positive")
+        self.visibility = visibility
+        self.mirrored: Set[int] = set(mirrored or ())
+        for rid in self.mirrored:
+            if not 0 <= rid < len(positions):
+                raise ValueError(f"mirrored id {rid} out of range")
+        # Sensor noise (experiment E16): every LOOK perturbs the
+        # observed positions of *other* robots by an isotropic error of
+        # at most this magnitude (the robot knows its own position
+        # exactly — it is the origin of its frame).  The paper's model
+        # is exact; this knob measures how much inaccuracy the
+        # tolerance-quantized pipeline absorbs in practice.
+        if sensor_noise < 0:
+            raise ValueError("sensor noise must be non-negative")
+        self.sensor_noise = sensor_noise
+        # A sensor that mis-measures positions by up to `noise` cannot
+        # resolve two robots closer than ~2*noise either — so the
+        # *observed* configurations (and the gathered predicate, which
+        # asks whether robots are physically together as far as anyone
+        # can tell) use a matching effective tolerance.  All engine-side
+        # bookkeeping stays at the exact tolerance.
+        if sensor_noise > 0.0:
+            from dataclasses import replace as _replace
+
+            self.effective_tol = _replace(
+                tol, eps_dist=max(tol.eps_dist, 2.1 * sensor_noise)
+            )
+        else:
+            self.effective_tol = tol
+        self.trace: Optional[Trace] = Trace() if record_trace else None
+        self.observers: List[Observer] = []
+
+        self.robots: List[Robot] = []
+        for rid, pos in enumerate(positions):
+            frame = (
+                random_frame(self.rng)
+                if frames == "random"
+                else Frame(Point(0.0, 0.0), 0.0, 1.0)
+            )
+            if rid in self.mirrored:
+                frame = frame.mirrored()
+            self.robots.append(Robot(robot_id=rid, position=pos, frame=frame))
+
+        self._last_moved: Set[int] = set()
+        self._last_active: Dict[int, int] = {}
+        self.round_index = 0
+        # Configuration cache: classification and views memoize on the
+        # Configuration object, and gathered/stalled checks plus step()
+        # all consult the same round's configuration — rebuilding it
+        # would discard those memos three times per round.
+        self._config_cache: Optional[Configuration] = None
+
+    # -- state accessors -----------------------------------------------------
+
+    def positions(self) -> Dict[int, Point]:
+        return {r.robot_id: r.position for r in self.robots}
+
+    def _robot_by_id(self, robot_id: int) -> Robot:
+        return self.robots[robot_id]
+
+    def live_ids(self) -> List[int]:
+        return [r.robot_id for r in self.robots if r.live]
+
+    def correct_ids(self) -> List[int]:
+        """Live robots that follow the algorithm (the paper's *correct*).
+
+        With no byzantine robots this equals :meth:`live_ids`.
+        """
+        return [
+            r.robot_id
+            for r in self.robots
+            if r.live and r.robot_id not in self.byzantine
+        ]
+
+    def crashed_ids(self) -> List[int]:
+        return [r.robot_id for r in self.robots if r.crashed]
+
+    def configuration(self) -> Configuration:
+        if self._config_cache is None:
+            self._config_cache = Configuration(
+                [r.position for r in self.robots], self.tol
+            )
+        return self._config_cache
+
+    def add_observer(self, observer: Observer) -> None:
+        """Attach a per-round callback (invariant checkers use this)."""
+        self.observers.append(observer)
+
+    # -- core round ------------------------------------------------------------
+
+    def _visible_points(self, origin: Point) -> List[Point]:
+        """Positions a robot at ``origin`` can see (E14: limited range).
+
+        The observer itself is always visible.  With unlimited
+        visibility (the paper's model) this is every robot.
+        """
+        pts = [r.position for r in self.robots]
+        if self.visibility is None:
+            return pts
+        return [
+            p for p in pts if origin.distance_to(p) <= self.visibility
+        ]
+
+    def _perturb(self, p: Point) -> Point:
+        """One sensor reading: ``p`` plus isotropic error <= sensor_noise."""
+        import math
+
+        angle = self.rng.uniform(0.0, 2.0 * math.pi)
+        r = self.rng.uniform(0.0, self.sensor_noise)
+        return Point(p.x + r * math.cos(angle), p.y + r * math.sin(angle))
+
+    def _snap_destination(self, dest: Point, config: Configuration) -> Point:
+        """Snap ``dest`` onto an occupied position it is trying to name."""
+        best = None
+        best_d = self.snap_tolerance
+        for p in config.support:
+            d = dest.distance_to(p)
+            if d <= best_d:
+                best, best_d = p, d
+        return best if best is not None else dest
+
+    def step(self) -> RoundRecord:
+        """Execute one ATOM round and return its record.
+
+        Raises :class:`BivalentConfigurationError` if the algorithm
+        refuses the current configuration; :meth:`run` converts this
+        into the ``impossible`` verdict.
+        """
+        config_before = self.configuration()
+        cls = classify(config_before)
+
+        # 1. Crashes.
+        crash_now = self.crash_adversary.crashes(
+            self.round_index,
+            self.live_ids(),
+            self.positions(),
+            set(self._last_moved),
+            self.rng,
+        )
+        for robot in self.robots:
+            if robot.robot_id in crash_now:
+                robot.crash(self.round_index)
+
+        # 2. Scheduling (fair).
+        active = self.scheduler.select(
+            self.round_index,
+            self.live_ids(),
+            self.rng,
+            self._last_active,
+            positions=self.positions(),
+        )
+
+        # 3. Atomic LCM for every active robot, against one snapshot.
+        destinations: Dict[int, Point] = {}
+        for robot in self.robots:
+            if robot.robot_id not in active:
+                continue
+            policy = self.byzantine.get(robot.robot_id)
+            if policy is not None:
+                # Adversary-controlled robot: omniscient, frame-free.
+                destinations[robot.robot_id] = policy.destination(
+                    robot.robot_id,
+                    self.positions(),
+                    self.correct_ids(),
+                    self.round_index,
+                    self.rng,
+                )
+                continue
+            frame = robot.anchored_frame()
+            observed = self._visible_points(robot.position)
+            if self.sensor_noise > 0.0:
+                observed = [
+                    p
+                    if p == robot.position
+                    else self._perturb(p)
+                    for p in observed
+                ]
+            local_points = [frame.to_local(p) for p in observed]
+            # The effective tolerance is a *physical* (global-units)
+            # resolution; each robot's private frame rescales space, so
+            # its sensing resolution rescales with it.
+            if self.sensor_noise > 0.0:
+                from dataclasses import replace as _replace
+
+                local_tol = _replace(
+                    self.effective_tol,
+                    eps_dist=self.effective_tol.eps_dist * frame.scale,
+                )
+            else:
+                local_tol = self.effective_tol
+            local_config = Configuration(local_points, local_tol)
+            local_me = frame.to_local(robot.position)
+            if self.sensor_noise > 0.0:
+                # A *noisy observer* can transiently see a bivalent-
+                # looking blob that the true configuration is not; its
+                # refusal means "I stay this cycle", not global
+                # impossibility (which the engine judges on the exact
+                # positions).
+                try:
+                    local_dest = self.algorithm.compute(local_config, local_me)
+                except BivalentConfigurationError:
+                    continue
+            else:
+                local_dest = self.algorithm.compute(local_config, local_me)
+            dest = frame.to_global(local_dest)
+            dest = self._snap_destination(dest, config_before)
+            destinations[robot.robot_id] = dest
+
+        # 4. Simultaneous moves (the movement model may truncate them).
+        # Collusive adversaries get to see the whole round's moves first.
+        if hasattr(self.movement, "begin_round"):
+            self.movement.begin_round(
+                {
+                    rid: (self._robot_by_id(rid).position, dest)
+                    for rid, dest in destinations.items()
+                }
+            )
+        moved: List[int] = []
+        for robot in self.robots:
+            dest = destinations.get(robot.robot_id)
+            if dest is None:
+                continue
+            if hasattr(self.movement, "endpoint_for"):
+                end = self.movement.endpoint_for(
+                    robot.robot_id, robot.position, dest
+                )
+            else:
+                end = self.movement.endpoint(robot.position, dest, self.rng)
+            if end.distance_to(dest) <= self.tol.eps_dist:
+                end = dest
+            if end != robot.position:
+                robot.distance_travelled += robot.position.distance_to(end)
+                robot.position = end
+                moved.append(robot.robot_id)
+            robot.last_active_round = self.round_index
+            self._last_active[robot.robot_id] = self.round_index
+
+        self._last_moved = set(moved)
+        if moved:
+            self._config_cache = None  # positions changed this round
+        config_after = self.configuration()
+        record = RoundRecord(
+            round_index=self.round_index,
+            config_before=config_before,
+            config_class=cls,
+            active=tuple(sorted(active)),
+            crashed_now=tuple(sorted(crash_now)),
+            destinations=destinations,
+            config_after=config_after,
+            moved=tuple(moved),
+        )
+        if self.trace is not None:
+            self.trace.append(record)
+        for observer in self.observers:
+            observer(record)
+        self.round_index += 1
+        return record
+
+    # -- run loop ---------------------------------------------------------------
+
+    def _gathered_now(self) -> Optional[Point]:
+        spot = gathered_point(
+            self.positions(), self.correct_ids(), self.effective_tol
+        )
+        if spot is None:
+            return None
+        # Stability is judged through the robots' own (possibly
+        # visibility-limited, resolution-limited) eyes: what would a
+        # robot at the spot do?
+        view = Configuration(self._visible_points(spot), self.effective_tol)
+        try:
+            dest = self.algorithm.compute(view, spot)
+        except GatheringError:
+            return None
+        return spot if dest.close_to(spot, self.effective_tol) else None
+
+    def _stalled_now(self, config: Configuration) -> bool:
+        """Fixpoint check: no live robot is instructed to move.
+
+        Because the algorithm is oblivious, a non-gathered all-stay
+        configuration can never change again — the run is dead.  This is
+        how the classic wait-*ful* baseline manifests its deadlock.
+        (With byzantine robots the configuration is never a fixpoint —
+        the adversary may always move; with sensor noise the snapshots
+        fluctuate round to round, so an all-stay *expected* view proves
+        nothing.  The check is skipped in both cases.)
+        """
+        if self.byzantine or self.sensor_noise > 0.0:
+            return False
+        live_positions = {
+            r.position for r in self.robots if r.live
+        }
+        try:
+            for p in live_positions:
+                view = (
+                    config
+                    if self.visibility is None and self.sensor_noise == 0.0
+                    else Configuration(
+                        self._visible_points(p), self.effective_tol
+                    )
+                )
+                if not self.algorithm.compute(view, p).close_to(
+                    p, self.effective_tol
+                ):
+                    return False
+        except GatheringError:
+            return False
+        return True
+
+    def run(self) -> SimulationResult:
+        """Run until gathered / impossible / stalled / out of rounds."""
+        classes_seen: List[ConfigClass] = []
+        verdict = Verdict.MAX_ROUNDS
+        while self.round_index < self.max_rounds:
+            spot = self._gathered_now()
+            if spot is not None:
+                verdict = Verdict.GATHERED
+                break
+            config = self.configuration()
+            cls = classify(config)
+            if not classes_seen or classes_seen[-1] is not cls:
+                classes_seen.append(cls)
+            if cls is ConfigClass.BIVALENT and self.halt_on_bivalent:
+                verdict = Verdict.IMPOSSIBLE
+                break
+            if self._stalled_now(config):
+                verdict = Verdict.STALLED
+                break
+            try:
+                self.step()
+            except BivalentConfigurationError:
+                verdict = Verdict.IMPOSSIBLE
+                break
+
+        spot = self._gathered_now()
+        return SimulationResult(
+            verdict=verdict,
+            rounds=self.round_index,
+            final_positions=self.positions(),
+            live_ids=tuple(self.live_ids()),
+            crashed_ids=tuple(self.crashed_ids()),
+            gathering_point=spot,
+            total_distance=sum(r.distance_travelled for r in self.robots),
+            trace=self.trace,
+            initial_class=classes_seen[0] if classes_seen else classify(self.configuration()),
+            classes_seen=tuple(classes_seen),
+        )

@@ -1,0 +1,63 @@
+"""The GATHERED predicate (Definition 9).
+
+Gathering is achieved at time ``tau`` when (a) all live robots occupy a
+single location and (b) the algorithm does not instruct that location to
+move — i.e. the configuration is a fixpoint for the survivors.  Clause
+(b) matters: robots transiently co-located mid-execution do not count as
+gathered if the algorithm would scatter them again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..algorithms.base import GatheringAlgorithm
+from ..core import Configuration, GatheringError
+from ..geometry import Point
+
+__all__ = ["gathered_point", "is_gathered"]
+
+
+def gathered_point(
+    positions: Dict[int, Point],
+    live_ids: Sequence[int],
+    tol,
+) -> Optional[Point]:
+    """The common location of all live robots, or ``None``.
+
+    ``positions`` maps robot ids to global positions; crashed robots are
+    ignored (they may be stranded anywhere).
+    """
+    live = [positions[rid] for rid in live_ids]
+    if not live:
+        return None
+    anchor = live[0]
+    if all(p.close_to(anchor, tol) for p in live[1:]):
+        return anchor
+    return None
+
+
+def is_gathered(
+    positions: Dict[int, Point],
+    live_ids: Sequence[int],
+    algorithm: GatheringAlgorithm,
+    tol,
+) -> bool:
+    """Definition 9, evaluated on global state.
+
+    The stability clause is checked by running the algorithm once on the
+    *current* configuration from the common location: gathered iff the
+    instruction is "stay".  Algorithms that error on the current
+    configuration (e.g. bivalent refusal) are not gathered.
+    """
+    spot = gathered_point(positions, live_ids, tol)
+    if spot is None:
+        return False
+    config = Configuration(
+        [positions[rid] for rid in sorted(positions)], tol
+    )
+    try:
+        destination = algorithm.compute(config, spot)
+    except GatheringError:
+        return False
+    return destination.close_to(spot, tol)

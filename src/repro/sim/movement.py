@@ -1,0 +1,168 @@
+"""Movement models — the MOVE phase and the ``delta`` guarantee.
+
+The model of Section II: a move towards the computed destination may be
+stopped by the adversary, but there is an unknown constant ``delta > 0``
+such that a robot either reaches a destination closer than ``delta`` or
+travels at least ``delta`` towards it.  The progress measures of the
+correctness proofs (e.g. the ``phi`` decrease of Lemma 5.6, claim C2)
+lean on exactly this guarantee.
+
+Models:
+
+* :class:`RigidMovement` — moves always complete (the classic *rigid*
+  special case).
+* :class:`AdversarialStop` — the worst case: every long move is cut at
+  exactly ``delta``.
+* :class:`RandomStop` — uniformly random cut in ``[delta, distance]``.
+
+All models return the destination *bitwise* when it is reached, so exact
+multiplicities form whenever the algorithm sends robots to an occupied
+position.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from ..geometry import Point
+
+__all__ = [
+    "MovementModel",
+    "RigidMovement",
+    "AdversarialStop",
+    "RandomStop",
+    "CollusiveStop",
+]
+
+
+class MovementModel(Protocol):
+    """Strategy resolving where an interrupted move actually ends."""
+
+    name: str
+
+    def endpoint(self, origin: Point, destination: Point, rng: random.Random) -> Point:
+        """Actual end position of a move ``origin -> destination``."""
+        ...
+
+
+class RigidMovement:
+    """Every move reaches its destination (delta = infinity)."""
+
+    name = "rigid"
+
+    def endpoint(self, origin: Point, destination: Point, rng: random.Random) -> Point:
+        return destination
+
+
+class _DeltaModel:
+    """Shared validation for the non-rigid models."""
+
+    def __init__(self, delta: float) -> None:
+        if not delta > 0.0:
+            raise ValueError("delta must be strictly positive (Section II)")
+        self.delta = delta
+
+
+class AdversarialStop(_DeltaModel):
+    """Cut every move at exactly ``delta`` — the slowest legal progress.
+
+    This is the strongest movement adversary: any algorithm correct
+    under it is correct under every ``t >= delta`` stopping rule.
+    """
+
+    def __init__(self, delta: float) -> None:
+        super().__init__(delta)
+        self.name = f"adversarial-stop(delta={delta:g})"
+
+    def endpoint(self, origin: Point, destination: Point, rng: random.Random) -> Point:
+        dist = origin.distance_to(destination)
+        if dist <= self.delta:
+            return destination
+        step = (destination - origin) * (self.delta / dist)
+        return origin + step
+
+
+class CollusiveStop(_DeltaModel):
+    """The bivalent-manufacturing adversary (experiment E9).
+
+    When several robots move along a *common ray* towards a *common
+    destination*, this adversary stops all of them at one shared point
+    (the legal stop closest to the destination for the least-advanced
+    mover), stacking them into a single multiplicity point.  All other
+    moves complete.  This is the strongest stopping adversary the model
+    permits — every robot still progresses at least ``delta`` — and it
+    is exactly the attack that Definition 8 (safe points) and the
+    side-step rule of case ``M`` are designed to survive.
+
+    The engine calls :meth:`begin_round` with all of the round's moves
+    so the adversary can coordinate; ``endpoint`` then serves each robot
+    its pre-computed stop.
+    """
+
+    def __init__(self, delta: float) -> None:
+        super().__init__(delta)
+        self.name = f"collusive-stop(delta={delta:g})"
+        self._stops = {}
+
+    def begin_round(self, moves) -> None:
+        """Coordinate: ``moves`` is ``{robot_id: (origin, destination)}``."""
+        self._stops = {}
+        groups = {}
+        for rid, (origin, dest) in moves.items():
+            dist = origin.distance_to(dest)
+            if dist <= self.delta:
+                continue  # will legally arrive; nothing to collude on
+            d = origin - dest
+            direction = d.normalized()
+            # Ray signature: destination plus quantized direction.
+            key = (
+                round(dest.x, 9),
+                round(dest.y, 9),
+                round(direction.x, 6),
+                round(direction.y, 6),
+            )
+            groups.setdefault(key, []).append((rid, origin, dest, dist))
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            # Shared stop: the least-advanced mover travels exactly
+            # delta; everyone else is stopped at the same point (legal,
+            # since they travel more than delta).
+            rid0, origin0, dest0, dist0 = min(members, key=lambda m: m[3])
+            stop = origin0 + (dest0 - origin0) * (self.delta / dist0)
+            for rid, _origin, _dest, _dist in members:
+                self._stops[rid] = stop
+
+    def endpoint_for(self, robot_id: int, origin: Point, destination: Point):
+        """Engine-facing resolution with the robot's identity."""
+        if robot_id in self._stops:
+            return self._stops[robot_id]
+        return destination
+
+    def endpoint(self, origin: Point, destination: Point, rng: random.Random) -> Point:
+        # Fallback for engines that do not pass identities: behave
+        # rigidly (collusion needs begin_round + endpoint_for).
+        return destination
+
+
+class RandomStop(_DeltaModel):
+    """Cut long moves at a uniform point of ``[delta, distance]``.
+
+    Models jitter rather than malice; used by the statistical
+    experiments to decorrelate robots' progress.
+    """
+
+    def __init__(self, delta: float) -> None:
+        super().__init__(delta)
+        self.name = f"random-stop(delta={delta:g})"
+
+    def endpoint(self, origin: Point, destination: Point, rng: random.Random) -> Point:
+        dist = origin.distance_to(destination)
+        if dist <= self.delta:
+            return destination
+        travelled = rng.uniform(self.delta, dist)
+        if travelled >= dist:
+            return destination
+        step = (destination - origin) * (travelled / dist)
+        return origin + step

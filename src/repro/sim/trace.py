@@ -1,0 +1,139 @@
+"""Execution traces — what happened, round by round.
+
+Traces drive four consumers: the invariant checkers of
+:mod:`repro.analysis` (which verify per-round proof obligations), the
+experiment harness (which aggregates metrics), humans debugging a run
+(``Trace.render`` prints a compact transcript), and offline tooling
+(``Trace.to_json`` / ``Trace.from_json`` round-trip the full record so a
+run can be archived, diffed, or re-analysed without re-simulating).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core import ConfigClass, Configuration
+from ..geometry import Point
+
+__all__ = ["RoundRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Everything observable about one simulation round."""
+
+    round_index: int
+    config_before: Configuration
+    config_class: ConfigClass
+    active: Tuple[int, ...]
+    crashed_now: Tuple[int, ...]
+    destinations: Dict[int, Point]
+    config_after: Configuration
+    moved: Tuple[int, ...]
+
+    def summary(self) -> str:
+        moves = ",".join(str(i) for i in self.moved) or "-"
+        crash = ",".join(str(i) for i in self.crashed_now) or "-"
+        return (
+            f"r{self.round_index:>4} [{self.config_class}] "
+            f"active={len(self.active)} moved={moves} crashed={crash}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (exact float coordinates preserved)."""
+        return {
+            "round": self.round_index,
+            "class": self.config_class.value,
+            "before": [p.as_tuple() for p in self.config_before.points],
+            "after": [p.as_tuple() for p in self.config_after.points],
+            "active": list(self.active),
+            "crashed": list(self.crashed_now),
+            "moved": list(self.moved),
+            "destinations": {
+                str(rid): dest.as_tuple()
+                for rid, dest in self.destinations.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RoundRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            round_index=data["round"],
+            config_before=Configuration(
+                [Point(x, y) for x, y in data["before"]]
+            ),
+            config_class=ConfigClass(data["class"]),
+            active=tuple(data["active"]),
+            crashed_now=tuple(data["crashed"]),
+            destinations={
+                int(rid): Point(x, y)
+                for rid, (x, y) in data["destinations"].items()
+            },
+            config_after=Configuration(
+                [Point(x, y) for x, y in data["after"]]
+            ),
+            moved=tuple(data["moved"]),
+        )
+
+
+@dataclass
+class Trace:
+    """Ordered list of :class:`RoundRecord` with rendering helpers.
+
+    Recording full configurations costs memory linear in rounds x robots;
+    the engine's ``record_trace`` flag turns it off for large sweeps,
+    in which case only counters are kept by the result object.
+    """
+
+    records: List[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def class_sequence(self) -> List[ConfigClass]:
+        """The sequence of configuration classes traversed."""
+        return [r.config_class for r in self.records]
+
+    def class_transitions(self) -> List[Tuple[ConfigClass, ConfigClass]]:
+        """Consecutive (before, after) class pairs, for Lemmas 5.3-5.9."""
+        classes = self.class_sequence()
+        return list(zip(classes, classes[1:]))
+
+    def render(self, limit: Optional[int] = 50) -> str:
+        """Human-readable transcript (truncated to ``limit`` rounds)."""
+        rows = [r.summary() for r in self.records[: limit or None]]
+        if limit is not None and len(self.records) > limit:
+            rows.append(f"... ({len(self.records) - limit} more rounds)")
+        return "\n".join(rows)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize the whole trace (exact coordinates) to JSON."""
+        return json.dumps(
+            {"format": "repro-trace-v1",
+             "records": [r.to_dict() for r in self.records]},
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        """Inverse of :meth:`to_json`.
+
+        Raises :class:`ValueError` on an unrecognized payload so stale
+        archives fail loudly rather than half-load.
+        """
+        data = json.loads(text)
+        if not isinstance(data, dict) or data.get("format") != "repro-trace-v1":
+            raise ValueError("not a repro-trace-v1 payload")
+        trace = cls()
+        for record in data["records"]:
+            trace.append(RoundRecord.from_dict(record))
+        return trace

@@ -1,0 +1,11 @@
+"""SVG rendering of configurations and executions (no plotting deps)."""
+
+from .render import render_configuration, render_trace, robot_color
+from .svg import SvgDocument
+
+__all__ = [
+    "render_configuration",
+    "render_trace",
+    "robot_color",
+    "SvgDocument",
+]

@@ -1,0 +1,89 @@
+"""Perturbations of configurations — negative workloads and robustness.
+
+The detection experiments (E7) need *near misses*: configurations that
+look quasi-regular to the eye but are not — one robot nudged off its ray
+by far more than the angular tolerance.  The robustness experiments use
+small jitter to confirm the tolerant predicates absorb sensor-grade
+noise without changing the classification.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from ..geometry import Point
+
+__all__ = ["jitter", "break_symmetry"]
+
+
+def jitter(
+    points: List[Point], magnitude: float, seed: int = 0
+) -> List[Point]:
+    """Displace every point by a uniform random vector of at most
+    ``magnitude`` — isotropic noise of a bounded amplitude."""
+    rng = random.Random(seed)
+    out: List[Point] = []
+    for p in points:
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        r = rng.uniform(0.0, magnitude)
+        out.append(Point(p.x + r * math.cos(angle), p.y + r * math.sin(angle)))
+    return out
+
+
+def break_symmetry(
+    points: List[Point],
+    magnitude: float = 0.1,
+    seed: int = 0,
+    tangential_about: Optional[Point] = None,
+    count: int = 1,
+) -> List[Point]:
+    """Nudge exactly one point by a macroscopic offset.
+
+    Turns a regular/symmetric configuration into a near miss: all other
+    structure intact, one ray angle off as seen from the former center.
+    Used to verify detectors reject almost-QR configurations instead of
+    rounding them in.
+
+    With ``tangential_about`` the nudge is applied *perpendicular* to the
+    ray from that point (and points sitting on it are never chosen).
+    This matters for negative QR workloads: regularity is an angular
+    property, so a nudge with a large radial component can leave the
+    configuration genuinely quasi-regular — only the tangential part
+    breaks the structure.
+
+    ``count`` nudges that many *distinct* robots.  One nudge is not
+    always a negative: a configuration with ``k`` wildcard robots on its
+    center can absorb up to ``k`` dislodged rays (Lemma 3.4!), so
+    negative workloads for occupied-center configurations must displace
+    more robots than the center holds.
+    """
+    if not points:
+        return []
+    rng = random.Random(seed)
+    out = list(points)
+    if tangential_about is None:
+        candidates = list(range(len(points)))
+    else:
+        candidates = [
+            i
+            for i, p in enumerate(points)
+            if p.distance_to(tangential_about) > 3.0 * magnitude
+        ]
+        if len(candidates) < count:
+            raise ValueError("not enough points far from the center to nudge")
+    chosen = rng.sample(candidates, count)
+    for index in chosen:
+        p = out[index]
+        if tangential_about is None:
+            angle = rng.uniform(0.0, 2.0 * math.pi)
+            offset = Point(
+                magnitude * math.cos(angle), magnitude * math.sin(angle)
+            )
+        else:
+            radial = (p - tangential_about).normalized()
+            sign = 1.0 if rng.random() < 0.5 else -1.0
+            offset = radial.perpendicular() * (sign * magnitude)
+        out[index] = p + offset
+    return out

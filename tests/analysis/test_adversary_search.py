@@ -1,0 +1,85 @@
+"""Unit tests for the greedy bivalent hunt."""
+
+import pytest
+
+from repro.algorithms import NaiveLeaderGather, WaitFreeGather
+from repro.analysis import BivalentHunt, bivalence_score
+from repro.core import ConfigClass, Configuration, classify
+from repro.geometry import Point
+from repro.workloads import generate
+
+
+class TestScore:
+    def test_zero_iff_bivalent(self):
+        biv = Configuration([Point(0, 0)] * 3 + [Point(5, 5)] * 3)
+        assert bivalence_score(biv) == 0
+
+    def test_gathered_scores_positive(self):
+        # A single stack is NOT bivalent: the second cluster is missing.
+        gathered = Configuration([Point(0, 0)] * 6)
+        assert bivalence_score(gathered) > 0
+
+    def test_imbalance_counted(self):
+        lop = Configuration([Point(0, 0)] * 4 + [Point(5, 5)] * 2)
+        assert bivalence_score(lop) == 2
+
+    def test_extra_locations_counted(self):
+        three = Configuration(
+            [Point(0, 0)] * 2 + [Point(5, 5)] * 2 + [Point(1, 9)]
+        )
+        # one stray robot (2) + balanced tops (0) + one extra location (1)
+        assert bivalence_score(three) == 3
+
+    def test_score_decreases_towards_b(self):
+        far = Configuration(
+            [Point(0, 0), Point(1, 1), Point(2, 2), Point(3, 3)]
+        )
+        near = Configuration(
+            [Point(0, 0), Point(0, 0), Point(3, 3), Point(1, 1)]
+        )
+        assert bivalence_score(near) < bivalence_score(far)
+
+
+class TestHunt:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BivalentHunt(WaitFreeGather(), [])
+        with pytest.raises(ValueError):
+            BivalentHunt(WaitFreeGather(), [Point(0, 0)], delta=0.0)
+
+    def test_deterministic_in_seed(self):
+        pts = generate("unsafe-ray", 8, 1)
+        r1 = BivalentHunt(NaiveLeaderGather(), pts, seed=3).run(20)
+        r2 = BivalentHunt(NaiveLeaderGather(), pts, seed=3).run(20)
+        assert r1.score_trace == r2.score_trace
+
+    def test_finds_trap_against_naive_leader(self):
+        pts = generate("unsafe-ray", 8, 0)
+        result = BivalentHunt(NaiveLeaderGather(), pts, seed=0).run(30)
+        assert result.reached_bivalent
+        assert result.best_score == 0
+        assert result.final_class is ConfigClass.BIVALENT
+
+    def test_cannot_trap_wait_free_gather(self):
+        for seed in range(3):
+            pts = generate("unsafe-ray", 8, seed)
+            result = BivalentHunt(WaitFreeGather(), pts, seed=seed).run(25)
+            assert not result.reached_bivalent, f"seed {seed}"
+            assert result.best_score > 0
+
+    def test_score_trace_recorded(self):
+        pts = generate("random", 6, 2)
+        result = BivalentHunt(WaitFreeGather(), pts, seed=1).run(10)
+        assert len(result.score_trace) >= 2
+        assert result.best_score == min(result.score_trace)
+
+    def test_moves_respect_delta(self):
+        # Every adversarial stop must advance the robot by >= delta (or
+        # complete the move); verify on one recorded step.
+        pts = generate("unsafe-ray", 8, 1)
+        hunt = BivalentHunt(NaiveLeaderGather(), pts, delta=0.3, seed=2)
+        before = list(hunt.points)
+        assert hunt.step()
+        for old, new in zip(before, hunt.points):
+            moved = old.distance_to(new)
+            assert moved == 0.0 or moved >= 0.3 - 1e-9

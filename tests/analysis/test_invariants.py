@@ -1,0 +1,121 @@
+"""Unit tests for the executable proof obligations."""
+
+import pytest
+
+from repro.algorithms import WaitFreeGather
+from repro.analysis import (
+    ALLOWED_TRANSITIONS,
+    InvariantMonitor,
+    InvariantViolation,
+    check_class_transition,
+    check_wait_freedom,
+    exact_weber_point,
+    phi,
+)
+from repro.core import ConfigClass, Configuration
+from repro.geometry import Point
+from repro.sim import RandomCrashes, RandomSubset, Simulation
+from repro.workloads import generate
+
+from ..conftest import regular_ngon
+
+O = Point(0.0, 0.0)
+
+
+class TestWaitFreedomCheck:
+    def test_accepts_wait_free_configs(self):
+        for workload in ("asymmetric", "multiple", "linear-unique"):
+            check_wait_freedom(Configuration(generate(workload, 8, 1)))
+
+    def test_gathered_config_passes(self):
+        check_wait_freedom(Configuration([O] * 4))
+
+
+class TestTransitionTable:
+    def test_m_is_closed(self):
+        assert ALLOWED_TRANSITIONS[ConfigClass.MULTIPLE] == {
+            ConfigClass.MULTIPLE
+        }
+
+    def test_b_unreachable_from_everywhere(self):
+        for source, targets in ALLOWED_TRANSITIONS.items():
+            if source is ConfigClass.BIVALENT:
+                continue
+            assert ConfigClass.BIVALENT not in targets, source
+
+    def test_legal_transition_accepted(self):
+        check_class_transition(
+            ConfigClass.QUASI_REGULAR, ConfigClass.MULTIPLE
+        )
+
+    def test_illegal_transition_raises(self):
+        with pytest.raises(InvariantViolation):
+            check_class_transition(
+                ConfigClass.MULTIPLE, ConfigClass.ASYMMETRIC
+            )
+
+
+class TestExactWeberPoint:
+    def test_qr_center(self):
+        c = Configuration(regular_ngon(5, radius=2.0))
+        wp = exact_weber_point(c)
+        assert wp is not None and wp.close_to(O)
+
+    def test_l1w_median(self):
+        c = Configuration([Point(t, 0) for t in (0.0, 1.0, 5.0)])
+        wp = exact_weber_point(c)
+        assert wp is not None and wp.close_to(Point(1, 0))
+
+    def test_none_for_other_classes(self):
+        assert exact_weber_point(Configuration(generate("asymmetric", 7, 1))) is None
+        assert exact_weber_point(Configuration(generate("multiple", 7, 1))) is None
+
+
+class TestPhi:
+    def test_phi_of_multiplicity_config(self):
+        c = Configuration([O] * 3 + [Point(1, 0), Point(2, 0)])
+        mult, neg_sum = phi(c)
+        assert mult == 3
+        assert neg_sum == -3.0  # 3 zeros + 1 + 2
+
+    def test_phi_orders_progress(self):
+        before = Configuration([O, Point(1, 0), Point(0, 2)])
+        after = Configuration([O, O, Point(0, 2)])
+        assert phi(after) > phi(before)
+
+
+class TestMonitorEndToEnd:
+    def test_monitor_clean_on_wait_free_gather(self):
+        monitor = InvariantMonitor()
+        sim = Simulation(
+            WaitFreeGather(),
+            generate("random", 8, 3),
+            scheduler=RandomSubset(0.5),
+            crash_adversary=RandomCrashes(f=7, rate=0.3),
+            seed=9,
+            max_rounds=5000,
+        )
+        sim.add_observer(monitor)
+        result = sim.run()
+        assert result.gathered
+        assert monitor.rounds_checked == result.rounds
+
+    def test_monitor_catches_violations(self):
+        # A fake record with an M -> A transition must raise.
+        from repro.sim.trace import RoundRecord
+
+        before = Configuration(generate("multiple", 6, 1))
+        after = Configuration(generate("asymmetric", 6, 1))
+        record = RoundRecord(
+            round_index=0,
+            config_before=before,
+            config_class=ConfigClass.MULTIPLE,
+            active=(0,),
+            crashed_now=(),
+            destinations={},
+            config_after=after,
+            moved=(0,),
+        )
+        monitor = InvariantMonitor(check_waitfree=False)
+        with pytest.raises(InvariantViolation):
+            monitor(record)

@@ -1,0 +1,72 @@
+"""Unit tests for the progress tracker."""
+
+import pytest
+
+from repro.algorithms import WaitFreeGather
+from repro.analysis import ProgressTracker
+from repro.core import ConfigClass
+from repro.sim import RandomCrashes, RandomSubset, Simulation
+from repro.workloads import generate
+
+
+def _tracked_run(workload="asymmetric", seed=1, n=8):
+    tracker = ProgressTracker()
+    sim = Simulation(
+        WaitFreeGather(),
+        generate(workload, n, seed),
+        scheduler=RandomSubset(0.5),
+        crash_adversary=RandomCrashes(f=n // 2, rate=0.2),
+        seed=seed,
+        max_rounds=10_000,
+    )
+    sim.add_observer(tracker)
+    result = sim.run()
+    return tracker, result
+
+
+class TestTracking:
+    def test_one_sample_per_round(self):
+        tracker, result = _tracked_run()
+        assert result.gathered
+        assert len(tracker.samples) == result.rounds
+
+    def test_samples_carry_class_and_counts(self):
+        tracker, _ = _tracked_run()
+        first = tracker.samples[0]
+        assert first.config_class is ConfigClass.ASYMMETRIC
+        assert first.max_multiplicity == 1
+        assert first.distinct_locations == 8
+        assert first.spread > 0
+
+    def test_multiplicity_monotone_within_m(self):
+        tracker, _ = _tracked_run()
+        assert tracker.max_multiplicity_monotone()
+
+    def test_final_sample_shows_consolidation(self):
+        tracker, result = _tracked_run()
+        # The tracker samples the configuration *before* each round, so
+        # the last sample precedes the final merge (which may absorb
+        # many robots at once under FSYNC-like activations).  The
+        # robust claims: multiplicity grew, locations shrank.
+        first, last = tracker.samples[0], tracker.samples[-1]
+        assert last.max_multiplicity > first.max_multiplicity
+        assert last.distinct_locations < first.distinct_locations
+
+
+class TestDownsample:
+    def test_short_series_returned_whole(self):
+        tracker, _ = _tracked_run()
+        k = len(tracker.samples) + 5
+        assert tracker.downsample(k) == tracker.samples
+
+    def test_budget_respected_and_endpoints_kept(self):
+        tracker, _ = _tracked_run(workload="linear-interval", seed=0)
+        picked = tracker.downsample(5)
+        assert len(picked) <= 5
+        assert picked[0] == tracker.samples[0]
+        assert picked[-1] == tracker.samples[-1]
+
+    def test_invalid_budget(self):
+        tracker, _ = _tracked_run()
+        with pytest.raises(ValueError):
+            tracker.downsample(0)

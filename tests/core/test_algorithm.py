@@ -1,0 +1,179 @@
+"""Unit tests for WAIT-FREE-GATHER (Figure 2) as a pure function."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import (
+    BivalentConfigurationError,
+    ConfigClass,
+    Configuration,
+    NotAPositionError,
+    classify,
+    destination_map,
+    quasi_regularity,
+    wait_free_gather,
+)
+from repro.geometry import Point, clockwise_angle, point_strictly_between
+from repro.workloads import generate
+
+from ..conftest import regular_ngon
+
+O = Point(0.0, 0.0)
+
+
+class TestGeneralContract:
+    def test_not_a_position_raises(self):
+        c = Configuration([O, Point(1, 0), Point(0, 1)])
+        with pytest.raises(NotAPositionError):
+            wait_free_gather(c, Point(9, 9))
+
+    def test_bivalent_refused(self):
+        c = Configuration([O] * 2 + [Point(1, 1)] * 2)
+        with pytest.raises(BivalentConfigurationError):
+            wait_free_gather(c, O)
+
+    def test_gathered_configuration_is_fixpoint(self):
+        c = Configuration([Point(2, 3)] * 5)
+        assert wait_free_gather(c, Point(2, 3)) == Point(2, 3)
+
+    def test_oblivious_determinism(self):
+        pts = generate("asymmetric", 7, 1)
+        c1 = Configuration(pts)
+        c2 = Configuration(pts)
+        for p in c1.support:
+            assert wait_free_gather(c1, p) == wait_free_gather(c2, p)
+
+    def test_wait_freedom_lemma_5_1(self):
+        """At most one occupied location may be told to stay."""
+        for workload in ("random", "asymmetric", "multiple", "linear-unique",
+                         "linear-interval", "regular-polygon", "near-bivalent"):
+            for seed in range(5):
+                c = Configuration(generate(workload, 8, seed))
+                stays = [
+                    p
+                    for p, d in destination_map(c).items()
+                    if d.close_to(p, c.tol)
+                ]
+                assert len(stays) <= 1, f"{workload} seed {seed}: {stays}"
+
+
+class TestCaseMultiple:
+    def setup_method(self):
+        # c = (0,0) x3; free robot east; blocked robot behind it; robot north.
+        self.c_point = O
+        self.pts = [O] * 3 + [Point(1, 0), Point(3, 0), Point(0, 2)]
+        self.config = Configuration(self.pts)
+        assert classify(self.config) is ConfigClass.MULTIPLE
+
+    def test_robot_at_target_stays(self):
+        assert wait_free_gather(self.config, O) == O
+
+    def test_free_robot_goes_straight(self):
+        assert wait_free_gather(self.config, Point(1, 0)) == O
+        assert wait_free_gather(self.config, Point(0, 2)) == O
+
+    def test_blocked_robot_side_steps(self):
+        d = wait_free_gather(self.config, Point(3, 0))
+        # Same distance from the target, strictly off the old ray.
+        assert math.isclose(d.distance_to(O), 3.0, rel_tol=1e-9)
+        assert d.y != 0.0
+
+    def test_side_step_rotates_clockwise(self):
+        d = wait_free_gather(self.config, Point(3, 0))
+        theta = clockwise_angle(Point(3, 0), O, d)
+        assert 0.0 < theta < math.pi / 2
+
+    def test_side_step_avoids_other_rays(self):
+        # The rotation is at most 1/3 of the clockwise gap to the next
+        # occupied ray (and capped), so the new ray is unoccupied.
+        d = wait_free_gather(self.config, Point(3, 0))
+        theta = clockwise_angle(Point(3, 0), O, d)
+        # Next occupied ray clockwise from east is north (gap 3*pi/2).
+        assert theta <= math.pi / 2 + 1e-9
+
+    def test_co_located_blocked_robots_get_same_destination(self):
+        pts = [O] * 3 + [Point(1, 0), Point(3, 0), Point(3, 0), Point(0, 2)]
+        c = Configuration(pts)
+        d = wait_free_gather(c, Point(3, 0))
+        assert isinstance(d, Point)  # one common instruction per position
+
+    def test_all_on_one_ray_still_side_steps(self):
+        pts = [O] * 2 + [Point(1, 0), Point(2, 0), Point(3, 0)]
+        c = Configuration(pts)
+        assert classify(c) is ConfigClass.MULTIPLE
+        d = wait_free_gather(c, Point(2, 0))
+        assert d.y != 0.0  # leaves the line even with no other ray
+
+
+class TestCaseWeber:
+    def test_qr_moves_to_center(self):
+        pts = regular_ngon(5, radius=2.0, phase=0.3)
+        c = Configuration(pts)
+        assert classify(c) is ConfigClass.QUASI_REGULAR
+        for p in c.support:
+            assert wait_free_gather(c, p).close_to(O)
+
+    def test_l1w_moves_to_median(self):
+        pts = [Point(t, 0) for t in (0.0, 1.0, 3.0, 7.0, 9.0)]
+        c = Configuration(pts)
+        assert classify(c) is ConfigClass.LINEAR_UNIQUE_WEBER
+        for p in c.support:
+            assert wait_free_gather(c, p).close_to(Point(3, 0))
+
+    def test_median_robot_stays(self):
+        pts = [Point(t, 0) for t in (0.0, 1.0, 3.0, 7.0, 9.0)]
+        c = Configuration(pts)
+        assert wait_free_gather(c, Point(3, 0)) == Point(3, 0)
+
+
+class TestCaseAsymmetric:
+    def test_everyone_targets_the_same_safe_point(self):
+        pts = generate("asymmetric", 7, 2)
+        c = Configuration(pts)
+        destinations = set(destination_map(c).values())
+        assert len(destinations) == 1
+        target = destinations.pop()
+        assert target in c.support
+
+    def test_target_is_safe(self):
+        from repro.core import is_safe_point
+
+        pts = generate("asymmetric", 9, 4)
+        c = Configuration(pts)
+        target = wait_free_gather(c, c.support[0])
+        assert is_safe_point(c, target)
+
+
+class TestCaseLinearInterval:
+    def setup_method(self):
+        self.pts = [Point(t, 0) for t in (0.0, 1.0, 3.0, 8.0)]
+        self.config = Configuration(self.pts)
+        assert classify(self.config) is ConfigClass.LINEAR_MANY_WEBER
+        self.center = Point(4.0, 0.0)  # midpoint of extremes 0 and 8
+
+    def test_interior_robots_contract_to_center(self):
+        assert wait_free_gather(self.config, Point(1, 0)).close_to(self.center)
+        assert wait_free_gather(self.config, Point(3, 0)).close_to(self.center)
+
+    def test_extreme_robots_leave_the_line(self):
+        for extreme in (Point(0, 0), Point(8, 0)):
+            d = wait_free_gather(self.config, extreme)
+            assert abs(d.y) > 0.1
+            assert math.isclose(
+                d.distance_to(self.center),
+                extreme.distance_to(self.center),
+                rel_tol=1e-9,
+            )
+
+    def test_both_extremes_rotate_to_distinct_points(self):
+        d_lo = wait_free_gather(self.config, Point(0, 0))
+        d_hi = wait_free_gather(self.config, Point(8, 0))
+        assert not d_lo.close_to(d_hi)
+
+    def test_simultaneous_full_moves_leave_l2w(self):
+        moves = destination_map(self.config)
+        after = Configuration([moves[p] for p in self.pts])
+        assert classify(after) is not ConfigClass.LINEAR_MANY_WEBER
+        assert classify(after) is not ConfigClass.BIVALENT

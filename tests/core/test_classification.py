@@ -1,0 +1,181 @@
+"""Unit tests for the Section IV partition (B/M/L1W/L2W/QR/A)."""
+
+import random
+
+import pytest
+
+from repro.core import ConfigClass, Configuration, classify, is_gathering_possible
+from repro.geometry import Point
+from repro.workloads import generate
+
+from ..conftest import regular_ngon
+
+O = Point(0.0, 0.0)
+
+
+def on_line(ts, direction=Point(1.0, 0.0), origin=O):
+    return [origin + direction * t for t in ts]
+
+
+class TestBivalent:
+    def test_two_balanced_points(self):
+        c = Configuration([O] * 3 + [Point(1, 1)] * 3)
+        assert classify(c) is ConfigClass.BIVALENT
+
+    def test_two_robots_distinct_is_bivalent(self):
+        # n = 2 at distinct points: the classic impossible case.
+        assert classify(Configuration([O, Point(1, 0)])) is ConfigClass.BIVALENT
+
+    def test_unbalanced_two_points_is_multiple(self):
+        c = Configuration([O] * 4 + [Point(1, 1)] * 2)
+        assert classify(c) is ConfigClass.MULTIPLE
+
+    def test_gathering_possible_iff_not_bivalent(self):
+        biv = Configuration([O] * 2 + [Point(1, 1)] * 2)
+        assert not is_gathering_possible(biv)
+        assert is_gathering_possible(Configuration([O, Point(1, 0), Point(0, 1)]))
+
+
+class TestMultiple:
+    def test_unique_maximum(self):
+        c = Configuration([O] * 3 + [Point(1, 0), Point(2, 2)])
+        assert classify(c) is ConfigClass.MULTIPLE
+
+    def test_gathered_is_multiple(self):
+        assert classify(Configuration([O] * 5)) is ConfigClass.MULTIPLE
+
+    def test_tied_maximum_is_not_multiple(self):
+        c = Configuration([O] * 2 + [Point(1, 0)] * 2 + [Point(0, 1)])
+        assert classify(c) is not ConfigClass.MULTIPLE
+
+    def test_multiplicity_beats_linearity(self):
+        # Linear but with unique max multiplicity: class M, not L.
+        c = Configuration(on_line([0.0, 0.0, 1.0, 2.0]))
+        assert classify(c) is ConfigClass.MULTIPLE
+
+
+class TestLinear:
+    def test_odd_distinct_is_l1w(self):
+        c = Configuration(on_line([0.0, 1.0, 4.0, 5.0, 9.0]))
+        assert classify(c) is ConfigClass.LINEAR_UNIQUE_WEBER
+
+    def test_even_distinct_is_l2w(self):
+        c = Configuration(on_line([0.0, 1.0, 4.0, 9.0]))
+        assert classify(c) is ConfigClass.LINEAR_MANY_WEBER
+
+    def test_even_with_coincident_medians_is_l1w(self):
+        # Block pattern (2, 2, 2): medians coincide on the middle block.
+        c = Configuration(on_line([0.0, 0.0, 1.0, 1.0, 2.0, 2.0]))
+        assert classify(c) is ConfigClass.LINEAR_UNIQUE_WEBER
+
+    def test_diagonal_direction(self):
+        c = Configuration(on_line([0.0, 1.0, 2.0], direction=Point(1, 1)))
+        assert classify(c) in (
+            ConfigClass.LINEAR_UNIQUE_WEBER,
+            ConfigClass.MULTIPLE,
+        )
+
+    def test_lemma_4_1_two_locations(self):
+        """(|U| = 2) => B or M."""
+        for mults in [(1, 1), (2, 2), (1, 2), (3, 1)]:
+            pts = [O] * mults[0] + [Point(1, 0)] * mults[1]
+            assert classify(Configuration(pts)) in (
+                ConfigClass.BIVALENT,
+                ConfigClass.MULTIPLE,
+            ), mults
+
+    def test_lemma_4_1_three_locations(self):
+        """(|U| = 3 linear) => M or L1W."""
+        for mults in [(1, 1, 1), (2, 1, 1), (1, 2, 1), (2, 1, 2), (1, 1, 3)]:
+            pts = (
+                [O] * mults[0]
+                + [Point(1, 0)] * mults[1]
+                + [Point(2.5, 0)] * mults[2]
+            )
+            assert classify(Configuration(pts)) in (
+                ConfigClass.MULTIPLE,
+                ConfigClass.LINEAR_UNIQUE_WEBER,
+            ), mults
+
+    def test_lemma_4_1_l2w_needs_four_locations(self):
+        """(C in L2W) => |U| >= 4."""
+        for seed in range(10):
+            pts = generate("linear-interval", 6, seed)
+            c = Configuration(pts)
+            assert classify(c) is ConfigClass.LINEAR_MANY_WEBER
+            assert len(c.support) >= 4
+
+
+class TestQuasiRegularAndAsymmetric:
+    def test_polygon_is_qr(self):
+        c = Configuration(regular_ngon(5, radius=2.0))
+        assert classify(c) is ConfigClass.QUASI_REGULAR
+
+    def test_generic_is_asymmetric(self):
+        rng = random.Random(2)
+        c = Configuration(
+            [Point(rng.uniform(0, 9), rng.uniform(0, 9)) for _ in range(7)]
+        )
+        assert classify(c) is ConfigClass.ASYMMETRIC
+
+    def test_polygon_plus_unique_stack_is_multiple(self):
+        pts = regular_ngon(4, radius=2.0)
+        c = Configuration(pts + [pts[0]])
+        assert classify(c) is ConfigClass.MULTIPLE
+
+    def test_axially_symmetric_is_asymmetric_class(self):
+        # Mirror symmetry only: chirality breaks it, so sym = 1 and the
+        # configuration lands in A (the paper's Section I discussion).
+        c = Configuration([Point(-1, 0), Point(1, 0), Point(0, 3), Point(0, 1)])
+        assert classify(c) is ConfigClass.ASYMMETRIC
+
+    def test_triangle_with_interior_fermat_point_is_qr(self):
+        # Any triangle whose Fermat point is interior is *regular* per
+        # Definition 5: the three rays from the Fermat point pairwise
+        # subtend exactly 120 degrees, so the string of angles is
+        # 3-periodic.  A pleasing consequence of the paper's purely
+        # angular notion of regularity.
+        c = Configuration([Point(-1, 0), Point(1, 0), Point(0, 3)])
+        assert classify(c) is ConfigClass.QUASI_REGULAR
+
+
+class TestPartition:
+    """X = {B, M, L1W, L2W, QR, A} is a partition of all configurations."""
+
+    @pytest.mark.parametrize(
+        "workload,expected",
+        [
+            ("bivalent", ConfigClass.BIVALENT),
+            ("multiple", ConfigClass.MULTIPLE),
+            ("linear-unique", ConfigClass.LINEAR_UNIQUE_WEBER),
+            ("linear-interval", ConfigClass.LINEAR_MANY_WEBER),
+            ("regular-polygon", ConfigClass.QUASI_REGULAR),
+            ("biangular", ConfigClass.QUASI_REGULAR),
+            ("qr-occupied-center", ConfigClass.QUASI_REGULAR),
+            ("asymmetric", ConfigClass.ASYMMETRIC),
+        ],
+    )
+    def test_generators_hit_their_class(self, workload, expected):
+        for seed in range(5):
+            c = Configuration(generate(workload, 8, seed))
+            assert classify(c) is expected, f"{workload} seed {seed}"
+
+    def test_every_config_gets_exactly_one_class(self):
+        # classify() is a total function returning one enum value; run it
+        # over a mixed bag including degenerate shapes.
+        shapes = [
+            [O],
+            [O, O],
+            [O, Point(1, 0)],
+            [O] * 3,
+            on_line([0.0, 1.0, 2.0, 3.0]),
+            regular_ngon(3),
+            regular_ngon(4) + [O],
+            [Point(random.Random(s).uniform(0, 5), random.Random(s + 99).uniform(0, 5)) for s in range(6)],
+        ]
+        for pts in shapes:
+            assert isinstance(classify(Configuration(pts)), ConfigClass)
+
+    def test_classification_memoized(self):
+        c = Configuration(regular_ngon(4))
+        assert classify(c) is classify(c)

@@ -1,0 +1,141 @@
+"""Unit tests for quasi-regularity (Definitions 6-7, Lemma 3.4, Thm 3.1)."""
+
+import math
+import random
+
+from repro.core import (
+    Configuration,
+    quasi_regularity,
+    satisfies_lemma_3_4,
+    topping_deficiency,
+)
+from repro.geometry import Point, is_weber_point
+
+from ..conftest import regular_ngon
+
+O = Point(0.0, 0.0)
+
+
+def cross_with_center(missing_east=False):
+    """Center robot + rays N/S/W (+E unless missing): the wildcard case."""
+    pts = [O, Point(0, 2), Point(0, -2), Point(-3, 0)]
+    if not missing_east:
+        pts.append(Point(2.5, 0))
+    return pts
+
+
+class TestToppingDeficiency:
+    def test_complete_pattern_zero_deficiency(self):
+        c = Configuration(cross_with_center())
+        assert topping_deficiency(c, O, 2) == 0
+
+    def test_missing_slot_costs_one(self):
+        c = Configuration(cross_with_center(missing_east=True))
+        assert topping_deficiency(c, O, 2) == 1
+
+    def test_gathered_returns_none(self):
+        c = Configuration([O] * 3)
+        assert topping_deficiency(c, O, 2) is None
+
+    def test_multiplicity_imbalance_counted(self):
+        # East ray holds 2 robots, west 1: orbit max 2, deficiency 1.
+        c = Configuration([O, Point(1, 0), Point(2, 0), Point(-1, 0), Point(0, 5), Point(0, -5)])
+        assert topping_deficiency(c, O, 2) == 1
+
+    def test_raises_for_m_below_two(self):
+        import pytest
+
+        c = Configuration(cross_with_center())
+        with pytest.raises(ValueError):
+            topping_deficiency(c, O, 1)
+
+
+class TestLemma34:
+    def test_one_wildcard_covers_one_missing_slot(self):
+        c = Configuration(cross_with_center(missing_east=True))
+        assert c.mult(O) == 1
+        assert satisfies_lemma_3_4(c, O, 2)
+
+    def test_insufficient_wildcards_rejected(self):
+        # Remove the center robot: no wildcard, the N/S/W cross is not
+        # 2-periodic on its own (deficiency 1 > 0).
+        pts = [Point(0, 2), Point(0, -2), Point(-3, 0), Point(1.0, 1.3)]
+        c = Configuration(pts)
+        assert not satisfies_lemma_3_4(c, Point(0, 2), 2)
+
+    def test_complete_pattern_always_accepted(self):
+        c = Configuration(cross_with_center())
+        assert satisfies_lemma_3_4(c, O, 2)
+
+
+class TestQuasiRegularityDetection:
+    def test_regular_is_quasi_regular(self):
+        c = Configuration(regular_ngon(5, radius=2.0))
+        qr = quasi_regularity(c)
+        assert qr.is_quasi_regular and qr.m == 5
+        assert qr.center.close_to(O)
+
+    def test_occupied_center_with_wildcard(self):
+        c = Configuration(cross_with_center(missing_east=True))
+        qr = quasi_regularity(c)
+        assert qr.is_quasi_regular
+        # Topping the empty east slot up yields the full '+' pattern,
+        # which is 4-periodic in angles — qreg reports the largest m.
+        assert qr.m == 4
+        assert qr.center == O
+
+    def test_center_is_weber_point_lemma_3_3(self):
+        pts = cross_with_center(missing_east=True)
+        qr = quasi_regularity(Configuration(pts))
+        assert is_weber_point(qr.center, pts)
+
+    def test_generic_config_not_quasi_regular(self):
+        rng = random.Random(5)
+        c = Configuration(
+            [Point(rng.uniform(0, 7), rng.uniform(0, 7)) for _ in range(7)]
+        )
+        assert not quasi_regularity(c).is_quasi_regular
+
+    def test_linear_excluded_by_design(self):
+        c = Configuration([Point(t, 0) for t in (-2.0, -1.0, 1.0, 2.0)])
+        assert not quasi_regularity(c).is_quasi_regular
+
+    def test_qreg_reports_largest_period(self):
+        # A regular octagon accepts m = 8 (and its divisors); qreg = 8.
+        c = Configuration(regular_ngon(8, radius=1.5, phase=0.9))
+        assert quasi_regularity(c).m == 8
+
+    def test_detection_stable_under_partial_contraction(self):
+        # Lemma 3.2 + Lemma 5.5 C1: moving robots towards the center
+        # keeps the configuration quasi-regular with the same center.
+        rng = random.Random(12)
+        pts = regular_ngon(6, radius=3.0, phase=0.1)
+        c = Configuration(pts)
+        center = quasi_regularity(c).center
+        moved = [p + (center - p) * rng.uniform(0.0, 0.7) for p in pts]
+        qr2 = quasi_regularity(Configuration(moved))
+        assert qr2.is_quasi_regular
+        assert qr2.center.close_to(center)
+
+    def test_wildcards_cannot_fix_everything(self):
+        # One wildcard, two independently broken slots: not quasi-regular.
+        pts = [
+            O,
+            Point(0, 2),
+            Point(0.4, -2.1),   # south ray bent
+            Point(-3, 0),
+            Point(2.5, 0.8),    # east ray bent
+            Point(1.1, 2.9),    # extra unpaired ray
+        ]
+        assert not quasi_regularity(Configuration(pts)).is_quasi_regular
+
+    def test_frame_invariance(self):
+        from repro.geometry import random_frame
+
+        base = cross_with_center(missing_east=True)
+        for seed in range(4):
+            f = random_frame(random.Random(seed), origin=Point(0.5, 0.5))
+            framed = [f.to_local(p) for p in base]
+            qr = quasi_regularity(Configuration(framed))
+            assert qr.is_quasi_regular, f"seed {seed}"
+            assert qr.center.close_to(f.to_local(O))

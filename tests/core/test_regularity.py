@@ -1,0 +1,92 @@
+"""Unit tests for regularity detection (Definition 5)."""
+
+import math
+import random
+
+from repro.core import Configuration, regularity
+from repro.geometry import Point
+
+from ..conftest import regular_ngon
+
+O = Point(0.0, 0.0)
+
+
+def biangular_points(half, alpha, radii, phase=0.0, center=O):
+    """2*half points with angles alternating alpha / (2*pi/half - alpha)."""
+    beta = 2 * math.pi / half - alpha
+    pts = []
+    angle = phase
+    for i in range(2 * half):
+        r = radii[i % len(radii)]
+        pts.append(
+            Point(center.x + r * math.cos(angle), center.y + r * math.sin(angle))
+        )
+        angle += alpha if i % 2 == 0 else beta
+    return pts
+
+
+class TestRegularDetection:
+    def test_regular_polygon(self):
+        c = Configuration(regular_ngon(6, radius=2.0, phase=0.4))
+        r = regularity(c)
+        assert r.is_regular and r.m == 6
+        assert r.center.close_to(O)
+
+    def test_biangular_same_radius(self):
+        c = Configuration(biangular_points(4, alpha=0.5, radii=[2.0]))
+        r = regularity(c)
+        assert r.is_regular and r.m == 4
+        assert r.center.close_to(O)
+
+    def test_biangular_mixed_radii(self):
+        # Angles periodic, radii wildly different: still regular — this
+        # is the point of Definition 5 being purely angular.
+        c = Configuration(
+            biangular_points(3, alpha=0.7, radii=[1.0, 3.0], phase=0.2)
+        )
+        r = regularity(c)
+        assert r.is_regular and r.m >= 3
+
+    def test_generic_points_not_regular(self):
+        rng = random.Random(8)
+        c = Configuration(
+            [Point(rng.uniform(0, 9), rng.uniform(0, 9)) for _ in range(7)]
+        )
+        assert not regularity(c).is_regular
+
+    def test_linear_reported_not_regular_by_design(self):
+        c = Configuration([Point(t, 0) for t in (-2.0, -1.0, 1.0, 2.0)])
+        assert not regularity(c).is_regular
+
+    def test_gathered_not_regular(self):
+        assert not regularity(Configuration([O] * 4)).is_regular
+
+    def test_center_is_weber_point(self):
+        # The detected center must satisfy the Weber certificate: the
+        # whole detection strategy rests on center-of-regularity = WP.
+        from repro.geometry import is_weber_point
+
+        pts = biangular_points(4, alpha=0.9, radii=[1.0, 2.5], phase=1.3)
+        c = Configuration(pts)
+        r = regularity(c)
+        assert r.is_regular
+        assert is_weber_point(r.center, pts)
+
+    def test_translated_and_rotated_polygon(self):
+        center = Point(-3.0, 7.0)
+        pts = regular_ngon(5, center=center, radius=1.7, phase=2.2)
+        r = regularity(Configuration(pts))
+        assert r.is_regular and r.m == 5
+        assert r.center.close_to(center)
+
+    def test_polygon_with_occupied_center_still_regular(self):
+        # Robots AT the center are excluded from the string of angles;
+        # the ring remains m-periodic around the occupied center.
+        pts = regular_ngon(4, radius=2.0) + [O]
+        r = regularity(Configuration(pts))
+        assert r.is_regular and r.m == 4
+
+    def test_perturbed_polygon_not_regular(self):
+        pts = regular_ngon(6, radius=2.0)
+        pts[0] = pts[0] + Point(0.0, 0.3)  # tangential-ish macroscopic nudge
+        assert not regularity(Configuration(pts)).is_regular

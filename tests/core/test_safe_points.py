@@ -1,0 +1,92 @@
+"""Unit tests for safe points (Definition 8, Lemmas 4.2-4.3)."""
+
+import math
+import random
+
+from repro.core import (
+    Configuration,
+    classify,
+    ConfigClass,
+    is_safe_point,
+    max_ray_load,
+    safe_points,
+)
+from repro.geometry import Point
+from repro.workloads import generate
+
+from ..conftest import regular_ngon
+
+O = Point(0.0, 0.0)
+
+
+class TestRayLoad:
+    def test_no_other_robots(self):
+        c = Configuration([O] * 3)
+        assert max_ray_load(c, O) == 0
+
+    def test_counts_multiplicity_along_ray(self):
+        c = Configuration([O, Point(1, 0), Point(2, 0), Point(2, 0), Point(0, 1)])
+        assert max_ray_load(c, O) == 3
+
+    def test_opposite_rays_counted_separately(self):
+        c = Configuration([O, Point(1, 0), Point(-1, 0)])
+        assert max_ray_load(c, O) == 1
+
+    def test_own_multiplicity_excluded(self):
+        c = Configuration([O] * 4 + [Point(1, 0)])
+        assert max_ray_load(c, O) == 1
+
+
+class TestDefinition:
+    def test_safe_point_bound(self):
+        # n = 6: a ray may hold at most ceil(6/2) - 1 = 2 robots.
+        base = [O, Point(0, 5), Point(3, 3)]
+        safe = Configuration(base + [Point(1, 0), Point(2, 0), Point(-1, 2)])
+        assert is_safe_point(safe, O)
+        unsafe = Configuration(
+            base + [Point(1, 0), Point(2, 0), Point(3, 0)]
+        )  # 3 on one ray
+        assert not is_safe_point(unsafe, O)
+
+    def test_polygon_vertices_all_safe(self):
+        c = Configuration(regular_ngon(6, radius=2.0))
+        assert len(safe_points(c)) == 6
+
+    def test_line_interior_points_unsafe(self):
+        # On a line of 5 distinct robots the off-median endpoints see
+        # >= ceil(5/2) = 3 robots down one ray.
+        pts = [Point(t, 0) for t in range(5)]
+        c = Configuration(pts)
+        assert not is_safe_point(c, Point(0, 0))
+        assert not is_safe_point(c, Point(4, 0))
+        assert is_safe_point(c, Point(2, 0))  # the median is safe
+
+
+class TestLemmas:
+    def test_lemma_4_2_nonlinear_has_safe_point(self):
+        """Every non-linear configuration contains a safe point."""
+        for workload in ("asymmetric", "regular-polygon", "multiple",
+                         "qr-occupied-center", "near-bivalent"):
+            for seed in range(6):
+                c = Configuration(generate(workload, 8, seed))
+                if c.is_linear():
+                    continue
+                assert safe_points(c), f"{workload} seed {seed}"
+
+    def test_lemma_4_3_bivalent_has_none(self):
+        for seed in range(6):
+            c = Configuration(generate("bivalent", 8, seed))
+            assert safe_points(c) == []
+
+    def test_lemma_4_3_l2w_has_none(self):
+        for seed in range(6):
+            c = Configuration(generate("linear-interval", 8, seed))
+            assert classify(c) is ConfigClass.LINEAR_MANY_WEBER
+            assert safe_points(c) == []
+
+    def test_unsafe_ray_workload_target_is_unsafe(self):
+        for seed in range(4):
+            pts = generate("unsafe-ray", 8, seed)
+            c = Configuration(pts)
+            target = c.max_multiplicity_points()[0]
+            assert not is_safe_point(c, target)

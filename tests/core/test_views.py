@@ -1,0 +1,140 @@
+"""Unit tests for views and rotational symmetry (Definitions 2-3)."""
+
+import math
+import random
+
+from repro.core import (
+    Configuration,
+    equivalence_classes,
+    symmetry,
+    view_of,
+    view_table,
+    views_equal,
+)
+from repro.geometry import Point, random_frame
+
+from ..conftest import regular_ngon
+
+
+def _framed(points, seed):
+    """Re-express a point list in a random orientation-preserving frame."""
+    f = random_frame(random.Random(seed), origin=Point(1.0, -2.0))
+    return [f.to_local(p) for p in points]
+
+
+class TestViewBasics:
+    def test_gathered_views_are_all_origin(self):
+        c = Configuration([Point(3, 3)] * 4)
+        v = view_of(c, Point(3, 3))
+        assert v == ((0.0, 0.0),) * 4
+
+    def test_view_contains_one_entry_per_robot(self):
+        c = Configuration([Point(0, 0)] * 2 + [Point(1, 0), Point(0, 1)])
+        v = view_of(c, Point(1, 0))
+        assert len(v) == 4
+
+    def test_view_of_unoccupied_raises(self):
+        import pytest
+
+        c = Configuration([Point(0, 0), Point(1, 0)])
+        with pytest.raises(ValueError):
+            view_of(c, Point(9, 9))
+
+    def test_view_table_covers_support(self):
+        c = Configuration([Point(0, 0), Point(1, 0), Point(0, 2)])
+        table = view_table(c)
+        assert set(table) == set(c.support)
+
+
+class TestSymmetry:
+    def test_regular_polygon_full_symmetry(self):
+        for k in (3, 4, 5, 6, 8):
+            c = Configuration(regular_ngon(k, radius=2.0, phase=0.37))
+            assert symmetry(c) == k, f"{k}-gon"
+
+    def test_generic_points_asymmetric(self):
+        rng = random.Random(1)
+        c = Configuration(
+            [Point(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(7)]
+        )
+        assert symmetry(c) == 1
+
+    def test_rectangle_symmetry_two(self):
+        c = Configuration([Point(2, 1), Point(-2, 1), Point(-2, -1), Point(2, -1)])
+        assert symmetry(c) == 2
+
+    def test_mirror_symmetry_is_not_rotational(self):
+        # Isosceles (non-equilateral) triangle: only axial symmetry.
+        # Chirality (clockwise views) tells the two base corners apart
+        # from each other's mirror, so sym = 1.
+        c = Configuration([Point(-1, 0), Point(1, 0), Point(0, 3)])
+        assert symmetry(c) == 1
+
+    def test_polygon_with_center_robot(self):
+        pts = regular_ngon(5, radius=1.5) + [Point(0, 0)]
+        c = Configuration(pts)
+        assert symmetry(c) == 5  # the orbit of the ring dominates
+
+    def test_multiplicities_break_symmetry(self):
+        pts = regular_ngon(4, radius=1.0)
+        c = Configuration(pts + [pts[0]])  # double one corner
+        assert symmetry(c) == 1
+
+    def test_equal_multiplicities_keep_symmetry(self):
+        pts = regular_ngon(3, radius=1.0)
+        c = Configuration(pts * 2)  # every corner doubled
+        assert symmetry(c) == 3
+
+    def test_two_points_symmetry(self):
+        c = Configuration([Point(0, 0), Point(2, 0)])
+        assert symmetry(c) == 2  # swapping rotation by pi
+
+
+class TestEquivalenceClasses:
+    def test_polygon_single_class(self):
+        c = Configuration(regular_ngon(6, radius=1.0))
+        classes = equivalence_classes(c)
+        assert len(classes) == 1
+        assert len(classes[0]) == 6
+
+    def test_two_concentric_orbits(self):
+        pts = regular_ngon(4, radius=1.0) + regular_ngon(4, radius=2.0)
+        c = Configuration(pts)
+        classes = sorted(equivalence_classes(c), key=len)
+        assert [len(cls) for cls in classes] == [4, 4]
+        assert symmetry(c) == 4
+
+    def test_views_equal_reflexive(self):
+        c = Configuration([Point(0, 0), Point(1, 2), Point(3, -1)])
+        table = view_table(c)
+        for v in table.values():
+            assert views_equal(v, v, c.tol)
+
+
+class TestFrameInvariance:
+    """Views are local-coordinate constructions: any two robots must agree
+    on view *equality* regardless of their private frames."""
+
+    def test_symmetry_invariant_under_frames(self):
+        base = regular_ngon(5, radius=2.0, phase=1.1)
+        for seed in range(5):
+            c = Configuration(_framed(base, seed))
+            assert symmetry(c) == 5
+
+    def test_asymmetry_invariant_under_frames(self):
+        rng = random.Random(3)
+        base = [Point(rng.uniform(0, 8), rng.uniform(0, 8)) for _ in range(6)]
+        assert symmetry(Configuration(base)) == 1
+        for seed in range(5):
+            assert symmetry(Configuration(_framed(base, seed))) == 1
+
+    def test_class_sizes_invariant_under_frames(self):
+        base = regular_ngon(3, radius=1.0) + regular_ngon(3, radius=3.0, phase=0.2)
+        reference = sorted(
+            len(cls) for cls in equivalence_classes(Configuration(base))
+        )
+        for seed in range(5):
+            c = Configuration(_framed(base, seed))
+            assert (
+                sorted(len(cls) for cls in equivalence_classes(c)) == reference
+            )

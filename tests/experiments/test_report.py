@@ -1,0 +1,60 @@
+"""Unit tests for experiment table rendering."""
+
+import math
+
+import pytest
+
+from repro.experiments.report import Table, format_cell
+
+
+class TestFormatCell:
+    def test_none_and_nan(self):
+        assert format_cell(None) == "-"
+        assert format_cell(math.nan) == "-"
+
+    def test_integral_float_compact(self):
+        assert format_cell(3.0) == "3"
+
+    def test_fractional_float_three_decimals(self):
+        assert format_cell(3.14159) == "3.142"
+
+    def test_strings_and_ints_pass_through(self):
+        assert format_cell("abc") == "abc"
+        assert format_cell(42) == "42"
+
+
+class TestTable:
+    def _table(self):
+        t = Table("T1", "caption", ["name", "value"])
+        t.add_row("alpha", 1)
+        t.add_row("beta", 2.5)
+        return t
+
+    def test_row_arity_checked(self):
+        t = self._table()
+        with pytest.raises(ValueError):
+            t.add_row("only-one-cell")
+
+    def test_render_contains_everything(self):
+        t = self._table()
+        t.add_note("a note")
+        out = t.render()
+        assert "[T1] caption" in out
+        assert "alpha" in out and "beta" in out
+        assert "2.500" in out
+        assert "note: a note" in out
+
+    def test_render_alignment(self):
+        out = self._table().render()
+        lines = out.splitlines()
+        header, sep, row1, row2 = lines[1:5]
+        assert len(header) == len(sep) == len(row1) == len(row2)
+
+    def test_csv(self):
+        csv = self._table().to_csv()
+        assert csv.splitlines()[0] == "name,value"
+        assert "alpha,1" in csv
+
+    def test_str_is_render(self):
+        t = self._table()
+        assert str(t) == t.render()

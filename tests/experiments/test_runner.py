@@ -1,0 +1,70 @@
+"""Unit tests for the experiment runner plumbing."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.runner import (
+    Scenario,
+    make_crashes,
+    make_movement,
+    make_scheduler,
+    run_batch,
+    run_scenario,
+)
+
+
+class TestFactories:
+    @pytest.mark.parametrize(
+        "name", ["fsync", "round-robin", "random", "laggard", "half-split"]
+    )
+    def test_schedulers(self, name):
+        assert make_scheduler(name) is not make_scheduler(name)  # fresh
+
+    @pytest.mark.parametrize(
+        "name", ["rigid", "adversarial-stop", "random-stop", "collusive-stop"]
+    )
+    def test_movements(self, name):
+        assert make_movement(name).name.startswith(name.split("(")[0])
+
+    def test_crashes(self):
+        assert make_crashes("none", 5).budget == 0
+        assert make_crashes("random", 0).budget == 0  # f=0 forces none
+        assert make_crashes("random", 3).budget == 3
+        assert make_crashes("after-move", 2).budget == 2
+        assert make_crashes("elected", 2).budget == 2
+        with pytest.raises(ValueError):
+            make_crashes("weird", 1)
+
+
+class TestScenario:
+    def test_label_mentions_key_parameters(self):
+        s = Scenario(workload="random", n=8, f=3)
+        label = s.label()
+        assert "random" in label and "n=8" in label and "f=3" in label
+
+    def test_run_scenario_deterministic(self):
+        s = Scenario(workload="asymmetric", n=6, f=2, max_rounds=3000)
+        r1 = run_scenario(s, seed=4)
+        r2 = run_scenario(s, seed=4)
+        assert r1.rounds == r2.rounds
+        assert r1.verdict == r2.verdict
+
+    def test_run_batch_length(self):
+        s = Scenario(workload="multiple", n=6, max_rounds=3000)
+        results = run_batch(s, range(3))
+        assert len(results) == 3
+        assert all(r.gathered for r in results)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert sorted(EXPERIMENTS) == [
+            "e1", "e10", "e11", "e12", "e13", "e14", "e15", "e16",
+            "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
+        ]
+
+    def test_unknown_experiment_raises(self):
+        from repro.experiments import run_experiment
+
+        with pytest.raises(ValueError):
+            run_experiment("e99")

@@ -1,0 +1,66 @@
+"""Unit tests for the convex hull."""
+
+import random
+
+from repro.geometry import Point, convex_hull, in_convex_hull
+
+from ..conftest import regular_ngon
+
+
+class TestConvexHull:
+    def test_square_hull(self, unit_square):
+        hull = convex_hull(unit_square + [Point(0.5, 0.5)])
+        assert sorted(hull) == sorted(unit_square)
+
+    def test_hull_is_ccw(self, unit_square):
+        hull = convex_hull(unit_square)
+        area2 = sum(
+            a.x * b.y - b.x * a.y for a, b in zip(hull, hull[1:] + hull[:1])
+        )
+        assert area2 > 0  # positive signed area = CCW
+
+    def test_single_point(self):
+        assert convex_hull([Point(1, 2), Point(1, 2)]) == [Point(1, 2)]
+
+    def test_collinear_reduces_to_extremes(self):
+        pts = [Point(t, t) for t in (0.0, 1.0, 2.0, 3.5)]
+        hull = convex_hull(pts)
+        assert sorted(hull) == [Point(0, 0), Point(3.5, 3.5)]
+
+    def test_collinear_interior_points_dropped_on_polygon(self):
+        pts = [Point(0, 0), Point(2, 0), Point(1, 0), Point(1, 2)]
+        hull = convex_hull(pts)
+        assert Point(1, 0) not in hull
+
+    def test_duplicates_ignored(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0, 1)] * 3
+        assert len(convex_hull(pts)) == 3
+
+    def test_random_points_inside_hull(self):
+        rng = random.Random(11)
+        pts = [Point(rng.uniform(0, 4), rng.uniform(0, 4)) for _ in range(30)]
+        hull = convex_hull(pts)
+        for p in pts:
+            assert in_convex_hull(p, pts)
+        assert all(h in pts for h in hull)
+
+
+class TestMembership:
+    def test_inside_outside_polygon(self, unit_square):
+        assert in_convex_hull(Point(0.5, 0.5), unit_square)
+        assert in_convex_hull(Point(0.0, 0.5), unit_square)  # boundary
+        assert not in_convex_hull(Point(1.5, 0.5), unit_square)
+
+    def test_segment_degenerate(self):
+        pts = [Point(0, 0), Point(2, 0)]
+        assert in_convex_hull(Point(1, 0), pts)
+        assert not in_convex_hull(Point(1, 0.5), pts)
+
+    def test_point_degenerate(self):
+        pts = [Point(1, 1)]
+        assert in_convex_hull(Point(1, 1), pts)
+        assert not in_convex_hull(Point(1, 2), pts)
+
+    def test_ngon_center_inside(self):
+        pts = regular_ngon(9, radius=2.0)
+        assert in_convex_hull(Point(0, 0), pts)

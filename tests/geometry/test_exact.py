@@ -1,0 +1,144 @@
+"""Exact rational predicates + cross-validation of the tolerant pipeline.
+
+The cross-validation tests are the point of the module: configurations
+drawn on coarse rational grids are classified by both the tolerant
+(float) pipeline and the exact (Fraction) pipeline, and the answers must
+agree — the grid spacing exceeds every tolerance by many orders of
+magnitude, so a disagreement is a genuine bug in the tolerant code, not
+a quantization accident.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ConfigClass, Configuration, classify
+from repro.geometry import Point
+from repro.geometry.exact import (
+    all_collinear_exact,
+    classify_exact,
+    exact_point,
+    multiplicities_exact,
+    orientation_exact,
+    strictly_between_exact,
+)
+
+O = exact_point(0, 0)
+
+
+class TestExactPredicates:
+    def test_orientation_signs(self):
+        assert orientation_exact(O, exact_point(1, 0), exact_point(2, 1)) == 1
+        assert orientation_exact(O, exact_point(1, 0), exact_point(2, -1)) == -1
+        assert orientation_exact(O, exact_point(1, 0), exact_point(2, 0)) == 0
+
+    def test_orientation_exactness_beats_floats(self):
+        # A triple that float cross products get wrong: tiny rational
+        # perturbation far below double precision at this magnitude.
+        a = exact_point(0, 0)
+        b = exact_point(Fraction(10**18), Fraction(10**18))
+        c = exact_point(Fraction(10**18) * 2, Fraction(10**18) * 2 + 1)
+        assert orientation_exact(a, b, c) == 1  # strictly CCW, exactly
+
+    def test_collinear_exact(self):
+        pts = [exact_point(i, 2 * i) for i in range(5)]
+        assert all_collinear_exact(pts)
+        assert not all_collinear_exact(pts + [exact_point(1, 3)])
+
+    def test_between_exact(self):
+        a, b = O, exact_point(4, 0)
+        assert strictly_between_exact(a, b, exact_point(1, 0))
+        assert not strictly_between_exact(a, b, a)
+        assert not strictly_between_exact(a, b, exact_point(5, 0))
+        assert not strictly_between_exact(a, b, exact_point(2, 1))
+        assert strictly_between_exact(a, b, exact_point(Fraction(1, 3), 0))
+
+    def test_multiplicities(self):
+        pts = [O, O, exact_point(1, 1)]
+        assert multiplicities_exact(pts) == {O: 2, exact_point(1, 1): 1}
+
+
+class TestExactClassification:
+    def test_bivalent(self):
+        pts = [O] * 3 + [exact_point(1, 1)] * 3
+        assert classify_exact(pts) == "B"
+
+    def test_multiple(self):
+        pts = [O] * 2 + [exact_point(1, 0), exact_point(0, 1)]
+        assert classify_exact(pts) == "M"
+
+    def test_l1w_odd(self):
+        pts = [exact_point(i, i) for i in (0, 1, 5)]
+        assert classify_exact(pts) == "L1W"
+
+    def test_l2w_even(self):
+        pts = [exact_point(i, 0) for i in (0, 1, 4, 9)]
+        assert classify_exact(pts) == "L2W"
+
+    def test_vertical_line(self):
+        # Projection must use the dominant axis, not blindly x.
+        pts = [exact_point(0, i) for i in (0, 1, 2, 7)]
+        assert classify_exact(pts) == "L2W"
+        pts_odd = [exact_point(0, i) for i in (0, 1, 7)]
+        assert classify_exact(pts_odd) == "L1W"
+
+    def test_nonlinear(self):
+        pts = [O, exact_point(1, 0), exact_point(0, 1), exact_point(3, 4)]
+        assert classify_exact(pts) == "nonlinear"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classify_exact([])
+
+
+# ---- cross-validation: tolerant pipeline vs exact ground truth ------------
+
+_EXACT_TO_ENUM = {
+    "B": {ConfigClass.BIVALENT},
+    "M": {ConfigClass.MULTIPLE},
+    "L1W": {ConfigClass.LINEAR_UNIQUE_WEBER},
+    "L2W": {ConfigClass.LINEAR_MANY_WEBER},
+    "nonlinear": {ConfigClass.QUASI_REGULAR, ConfigClass.ASYMMETRIC},
+}
+
+grid_coord = st.integers(min_value=-6, max_value=6)
+grid_points = st.lists(
+    st.tuples(grid_coord, grid_coord), min_size=2, max_size=9
+)
+
+
+@given(grid_points)
+def test_tolerant_classification_matches_exact_on_grids(raw):
+    exact_pts = [exact_point(x, y) for x, y in raw]
+    float_pts = [Point(float(x), float(y)) for x, y in raw]
+    expected = classify_exact(exact_pts)
+    got = classify(Configuration(float_pts))
+    assert got in _EXACT_TO_ENUM[expected], (raw, expected, got)
+
+
+@given(grid_points)
+def test_tolerant_collinearity_matches_exact_on_grids(raw):
+    from repro.geometry import all_collinear
+
+    exact_pts = [exact_point(x, y) for x, y in raw]
+    float_pts = [Point(float(x), float(y)) for x, y in raw]
+    assert all_collinear(float_pts) == all_collinear_exact(exact_pts)
+
+
+def test_half_grid_sweep_deterministic():
+    """Denser deterministic sweep on the half-integer grid."""
+    rng = random.Random(99)
+    for _ in range(150):
+        n = rng.randint(2, 8)
+        raw = [
+            (Fraction(rng.randint(-8, 8), 2), Fraction(rng.randint(-8, 8), 2))
+            for _ in range(n)
+        ]
+        exact_pts = [exact_point(x, y) for x, y in raw]
+        float_pts = [Point(float(x), float(y)) for x, y in raw]
+        expected = classify_exact(exact_pts)
+        got = classify(Configuration(float_pts))
+        assert got in _EXACT_TO_ENUM[expected], (raw, expected, got)

@@ -1,0 +1,65 @@
+"""Unit tests for Line / Segment / HalfLine value objects."""
+
+import pytest
+
+from repro.geometry import HalfLine, Line, Point, Segment
+
+A = Point(0.0, 0.0)
+B = Point(4.0, 0.0)
+
+
+class TestLine:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Line(A, A)
+
+    def test_contains(self):
+        line = Line(A, B)
+        assert line.contains(Point(-7, 0))
+        assert not line.contains(Point(1, 1))
+
+    def test_parameter_roundtrip(self):
+        line = Line(A, B)
+        p = line.point_at(0.75)
+        assert p == Point(3, 0)
+        assert line.parameter_of(p) == 0.75
+
+    def test_project_drops_perpendicular(self):
+        line = Line(A, B)
+        assert line.project(Point(2, 5)).close_to(Point(2, 0))
+
+
+class TestSegment:
+    def test_length_and_midpoint(self):
+        seg = Segment(A, B)
+        assert seg.length() == 4.0
+        assert seg.midpoint() == Point(2, 0)
+
+    def test_contains_closed_vs_strict(self):
+        seg = Segment(A, B)
+        assert seg.contains(A)
+        assert not seg.contains_strictly(A)
+        assert seg.contains_strictly(Point(1, 0))
+
+    def test_interior_points(self):
+        seg = Segment(A, B)
+        pts = [A, Point(2, 0), Point(3, 1), B]
+        assert seg.interior_points(pts) == [Point(2, 0)]
+
+
+class TestHalfLine:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            HalfLine(A, A)
+
+    def test_contains_semantics(self):
+        hf = HalfLine(A, B)
+        assert hf.contains(Point(1, 0))
+        assert hf.contains(Point(100, 0))
+        assert not hf.contains(A)  # origin excluded per the paper
+        assert not hf.contains(Point(-1, 0))
+
+    def test_count_points_with_multiplicity(self):
+        hf = HalfLine(A, B)
+        pts = [Point(1, 0), Point(1, 0), Point(2, 0), Point(-1, 0), A]
+        assert hf.count_points(pts) == 3

@@ -1,0 +1,112 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry import ORIGIN, Point, centroid, distance
+
+
+class TestVectorAlgebra:
+    def test_addition(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+
+    def test_subtraction(self):
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert Point(1, 2) * 3 == Point(3, 6)
+        assert 3 * Point(1, 2) == Point(3, 6)
+
+    def test_division(self):
+        assert Point(2, 4) / 2 == Point(1, 2)
+
+    def test_negation(self):
+        assert -Point(1, -2) == Point(-1, 2)
+
+    def test_iteration_unpacks(self):
+        x, y = Point(5, 7)
+        assert (x, y) == (5, 7)
+
+
+class TestMetric:
+    def test_norm_345(self):
+        assert Point(3, 4).norm() == 5.0
+
+    def test_norm_sq(self):
+        assert Point(3, 4).norm_sq() == 25.0
+
+    def test_distance_symmetry(self):
+        a, b = Point(1.5, -2.0), Point(-0.5, 3.0)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(1.23, 4.56)
+        assert p.distance_to(p) == 0.0
+
+    def test_triangle_inequality(self):
+        a, b, c = Point(0, 0), Point(1, 2), Point(3, -1)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-12
+
+    def test_dot_orthogonal(self):
+        assert Point(1, 0).dot(Point(0, 5)) == 0.0
+
+    def test_cross_sign_counterclockwise_positive(self):
+        # (1,0) to (0,1) is a CCW turn in math orientation.
+        assert Point(1, 0).cross(Point(0, 1)) > 0
+        assert Point(0, 1).cross(Point(1, 0)) < 0
+
+
+class TestConstructionHelpers:
+    def test_normalized_unit_length(self):
+        v = Point(3, 4).normalized()
+        assert math.isclose(v.norm(), 1.0)
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Point(0.0, 0.0).normalized()
+
+    def test_perpendicular_is_ccw_rotation(self):
+        assert Point(1, 0).perpendicular() == Point(0, 1)
+        assert Point(0, 1).perpendicular() == Point(-1, 0)
+
+    def test_perpendicular_is_orthogonal(self):
+        v = Point(2.5, -1.75)
+        assert v.dot(v.perpendicular()) == 0.0
+
+    def test_close_to_within_tolerance(self, tol):
+        assert Point(0, 0).close_to(Point(0, tol.eps_dist * 0.5), tol)
+        assert not Point(0, 0).close_to(Point(0, tol.eps_dist * 10), tol)
+
+    def test_as_tuple_roundtrip(self):
+        assert Point(1.5, -2.5).as_tuple() == (1.5, -2.5)
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(0, 5) < Point(1, 0)
+        assert Point(1, 0) < Point(1, 1)
+
+    def test_hashable_and_usable_as_dict_key(self):
+        d = {Point(1, 2): "a", Point(1, 3): "b"}
+        assert d[Point(1, 2)] == "a"
+
+
+class TestCentroid:
+    def test_centroid_of_square_is_center(self, unit_square):
+        assert centroid(unit_square).close_to(Point(0.5, 0.5))
+
+    def test_centroid_single_point(self):
+        assert centroid([Point(2, 3)]) == Point(2, 3)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_centroid_with_repeats_is_weighted(self):
+        c = centroid([Point(0, 0), Point(0, 0), Point(3, 0)])
+        assert c.close_to(Point(1, 0))
+
+    def test_distance_free_function(self):
+        assert distance(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_origin_constant(self):
+        assert ORIGIN == Point(0.0, 0.0)

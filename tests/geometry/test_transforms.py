@@ -1,0 +1,93 @@
+"""Unit tests for orientation-preserving frames (chirality)."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import (
+    IDENTITY_FRAME,
+    Frame,
+    Point,
+    clockwise_angle,
+    random_frame,
+)
+
+
+class TestFrameBasics:
+    def test_identity_roundtrip(self):
+        p = Point(3.5, -2.25)
+        assert IDENTITY_FRAME.to_local(p) == p
+        assert IDENTITY_FRAME.to_global(p) == p
+
+    def test_origin_maps_to_zero(self):
+        f = Frame(origin=Point(2, 3), theta=0.7, scale=2.5)
+        assert f.to_local(Point(2, 3)).close_to(Point(0, 0))
+
+    def test_roundtrip_general(self):
+        f = Frame(origin=Point(-1, 4), theta=1.234, scale=0.3)
+        p = Point(7.7, -8.8)
+        assert f.to_global(f.to_local(p)).close_to(p)
+        assert f.to_local(f.to_global(p)).close_to(p)
+
+    def test_scale_applies_to_distances(self):
+        f = Frame(origin=Point(0, 0), theta=0.0, scale=10.0)
+        assert math.isclose(f.to_local(Point(1, 0)).norm(), 10.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(origin=Point(0, 0), theta=0.0, scale=-1.0)
+        with pytest.raises(ValueError):
+            Frame(origin=Point(0, 0), theta=0.0, scale=0.0)
+
+    def test_with_origin_preserves_rotation_scale(self):
+        f = Frame(origin=Point(0, 0), theta=0.5, scale=2.0)
+        g = f.with_origin(Point(5, 5))
+        assert g.theta == f.theta and g.scale == f.scale
+        assert g.to_local(Point(5, 5)).close_to(Point(0, 0))
+
+
+class TestChirality:
+    """The load-bearing property: frames preserve the clockwise sense."""
+
+    def test_clockwise_angle_invariant_under_frames(self):
+        rng = random.Random(4)
+        apex = Point(1.0, -2.0)
+        u = Point(3.0, 0.0)
+        v = Point(-1.0, 1.0)
+        reference = clockwise_angle(u, apex, v)
+        for _ in range(25):
+            f = random_frame(rng, origin=Point(rng.uniform(-5, 5), rng.uniform(-5, 5)))
+            a = clockwise_angle(f.to_local(u), f.to_local(apex), f.to_local(v))
+            assert math.isclose(a, reference, abs_tol=1e-9)
+
+    def test_distance_ratios_invariant(self):
+        rng = random.Random(5)
+        a, b, c = Point(0, 0), Point(1, 2), Point(-3, 1)
+        reference = a.distance_to(b) / a.distance_to(c)
+        for _ in range(10):
+            f = random_frame(rng)
+            la, lb, lc = f.to_local(a), f.to_local(b), f.to_local(c)
+            assert math.isclose(
+                la.distance_to(lb) / la.distance_to(lc), reference,
+                rel_tol=1e-9,
+            )
+
+
+class TestRandomFrame:
+    def test_deterministic_in_rng(self):
+        f1 = random_frame(random.Random(9))
+        f2 = random_frame(random.Random(9))
+        assert f1 == f2
+
+    def test_scale_range_respected(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            f = random_frame(rng, scale_range=(0.5, 2.0))
+            assert 0.5 <= f.scale <= 2.0
+
+    def test_bad_scale_range_rejected(self):
+        with pytest.raises(ValueError):
+            random_frame(random.Random(0), scale_range=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            random_frame(random.Random(0), scale_range=(3.0, 1.0))

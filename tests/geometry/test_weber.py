@@ -1,0 +1,151 @@
+"""Unit tests for Weber point machinery (Definition 1, Lemma 3.2)."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import (
+    Point,
+    geometric_median,
+    is_weber_point,
+    linear_weber_interval,
+    sum_of_distances,
+    unit_vector_sum,
+)
+
+from ..conftest import regular_ngon
+
+
+class TestObjective:
+    def test_sum_of_distances(self):
+        pts = [Point(0, 0), Point(3, 0), Point(0, 4)]
+        assert math.isclose(sum_of_distances(Point(0, 0), pts), 7.0)
+
+    def test_unit_vector_sum_counts_colocated(self, tol):
+        pts = [Point(0, 0), Point(0, 0), Point(1, 0)]
+        s, k = unit_vector_sum(Point(0, 0), pts, tol)
+        assert k == 2
+        assert s.close_to(Point(1, 0))
+
+
+class TestCertificate:
+    def test_fermat_point_of_equilateral_triangle(self):
+        pts = regular_ngon(3, radius=1.0)
+        assert is_weber_point(Point(0, 0), pts)
+
+    def test_wrong_point_rejected(self):
+        pts = regular_ngon(3, radius=1.0)
+        assert not is_weber_point(Point(0.5, 0.5), pts)
+
+    def test_dominant_multiplicity_point_is_weber(self, tol):
+        # With 3 of 5 robots at x, x is the Weber point (majority rule).
+        pts = [Point(0, 0)] * 3 + [Point(1, 0), Point(0, 1)]
+        assert is_weber_point(Point(0, 0), pts, tol)
+
+
+class TestGeometricMedian:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_median([])
+
+    def test_single_point(self):
+        r = geometric_median([Point(5, 5)])
+        assert r.point == Point(5, 5) and r.certified
+
+    def test_symmetric_cross(self):
+        r = geometric_median([Point(1, 0), Point(-1, 0), Point(0, 2), Point(0, -2)])
+        assert r.certified
+        assert r.point.close_to(Point(0, 0))
+
+    def test_square_center(self, unit_square):
+        r = geometric_median(unit_square)
+        assert r.certified
+        assert r.point.distance_to(Point(0.5, 0.5)) < 1e-9
+
+    def test_occupied_optimum_returned_bitwise(self):
+        anchor = Point(0.123456, 0.654321)
+        pts = [anchor] * 3 + [Point(1, 1), Point(-1, 0.5)]
+        r = geometric_median(pts)
+        assert r.certified
+        assert r.point == anchor  # bitwise, not just close
+
+    def test_obtuse_triangle_vertex_optimum(self):
+        # When one vertex has an angle >= 120 degrees, it IS the median.
+        pts = [Point(0, 0), Point(10, 0.5), Point(-10, 0.5)]
+        r = geometric_median(pts)
+        assert r.certified
+        assert r.point == Point(0, 0)
+
+    def test_beats_grid_search(self):
+        rng = random.Random(17)
+        pts = [Point(rng.uniform(0, 4), rng.uniform(0, 4)) for _ in range(7)]
+        r = geometric_median(pts)
+        assert r.certified
+        best_grid = min(
+            (
+                sum_of_distances(Point(0.05 * i, 0.05 * j), pts)
+                for i in range(81)
+                for j in range(81)
+            )
+        )
+        assert r.objective <= best_grid + 1e-6
+
+    def test_collinear_input_returns_median(self):
+        pts = [Point(t, 0) for t in (0.0, 1.0, 2.0, 3.0, 10.0)]
+        r = geometric_median(pts)
+        assert r.certified
+        assert r.point.close_to(Point(2, 0))
+
+    def test_lemma_3_2_invariance_under_moves_towards(self):
+        """Moving points straight towards the Weber point keeps it fixed."""
+        rng = random.Random(23)
+        pts = [Point(rng.uniform(0, 5), rng.uniform(0, 5)) for _ in range(6)]
+        w = geometric_median(pts)
+        assert w.certified
+        moved = [
+            p + (w.point - p) * rng.uniform(0.0, 0.8) for p in pts
+        ]
+        w2 = geometric_median(moved)
+        assert w2.certified
+        assert w.point.distance_to(w2.point) < 1e-7
+
+
+class TestLinearInterval:
+    def test_odd_count_unique(self):
+        pts = [Point(t, 0) for t in (0.0, 1.0, 5.0)]
+        lo, hi = linear_weber_interval(pts)
+        assert lo.close_to(Point(1, 0)) and hi.close_to(Point(1, 0))
+
+    def test_even_count_interval(self):
+        pts = [Point(t, 0) for t in (0.0, 1.0, 2.0, 6.0)]
+        lo, hi = linear_weber_interval(pts)
+        assert lo.close_to(Point(1, 0))
+        assert hi.close_to(Point(2, 0))
+
+    def test_multiplicities_shift_median(self):
+        pts = [Point(0, 0)] * 3 + [Point(1, 0), Point(2, 0)]
+        lo, hi = linear_weber_interval(pts)
+        assert lo.close_to(Point(0, 0)) and hi.close_to(Point(0, 0))
+
+    def test_non_collinear_rejected(self):
+        with pytest.raises(ValueError):
+            linear_weber_interval([Point(0, 0), Point(1, 0), Point(0, 1)])
+
+    def test_all_coincident(self):
+        lo, hi = linear_weber_interval([Point(2, 2)] * 4)
+        assert lo == hi == Point(2, 2)
+
+    def test_diagonal_line(self):
+        pts = [Point(t, t) for t in (0.0, 1.0, 2.0, 3.0, 4.0)]
+        lo, hi = linear_weber_interval(pts)
+        assert lo.close_to(Point(2, 2)) and hi.close_to(Point(2, 2))
+
+    def test_interval_endpoints_are_both_optima(self):
+        pts = [Point(t, 0) for t in (0.0, 1.0, 3.0, 7.0)]
+        lo, hi = linear_weber_interval(pts)
+        obj_lo = sum_of_distances(lo, pts)
+        obj_hi = sum_of_distances(hi, pts)
+        obj_mid = sum_of_distances((lo + hi) / 2, pts)
+        assert math.isclose(obj_lo, obj_hi)
+        assert math.isclose(obj_lo, obj_mid)

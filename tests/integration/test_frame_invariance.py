@@ -1,0 +1,97 @@
+"""Disorientation with chirality: global behaviour must not depend on
+the robots' private coordinate systems.
+
+The paper's robots have no common North and no common unit of distance,
+only a common clockwise direction.  The simulator realizes this with
+random orientation-preserving frames; these tests pin down that the
+*global* behaviour is frame-independent: identity-frame runs and
+random-frame runs of the same deterministic scenario produce the same
+trajectory up to numerical noise.
+"""
+
+import pytest
+
+from repro.algorithms import WaitFreeGather
+from repro.core import Configuration, classify, wait_free_gather
+from repro.geometry import Point, random_frame
+from repro.sim import FullySynchronous, RigidMovement, Simulation
+from repro.workloads import generate
+
+import random
+
+
+WORKLOADS = ["asymmetric", "multiple", "linear-unique", "regular-polygon",
+             "linear-interval", "qr-occupied-center"]
+
+
+def _framed_destination(points, me, frame):
+    config = Configuration([frame.to_local(p) for p in points])
+    dest_local = wait_free_gather(config, frame.to_local(me))
+    return frame.to_global(dest_local)
+
+
+class TestSingleStepEquivariance:
+    """wait_free_gather commutes with orientation-preserving frames."""
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_destination_equivariant(self, workload):
+        points = generate(workload, 8, 2)
+        reference = {
+            me: wait_free_gather(Configuration(points), me)
+            for me in Configuration(points).support
+        }
+        for frame_seed in range(5):
+            frame = random_frame(
+                random.Random(frame_seed), origin=Point(1.5, -0.5)
+            )
+            for me, expected in reference.items():
+                got = _framed_destination(points, me, frame)
+                assert got.distance_to(expected) < 1e-6, (
+                    f"{workload} frame {frame_seed} at {me}"
+                )
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_classification_invariant(self, workload):
+        points = generate(workload, 8, 3)
+        reference = classify(Configuration(points))
+        for frame_seed in range(5):
+            frame = random_frame(random.Random(frame_seed))
+            framed = Configuration([frame.to_local(p) for p in points])
+            assert classify(framed) is reference
+
+
+class TestWholeRunEquivalence:
+    def test_identity_vs_random_frames_same_deterministic_run(self):
+        # FSYNC + rigid motion is fully deterministic modulo frames: the
+        # two runs must visit the same global configurations.
+        points = generate("asymmetric", 7, 4)
+        res_id = Simulation(
+            WaitFreeGather(), points, frames="identity",
+            scheduler=FullySynchronous(), movement=RigidMovement(), seed=1,
+        ).run()
+        res_rand = Simulation(
+            WaitFreeGather(), points, frames="random",
+            scheduler=FullySynchronous(), movement=RigidMovement(), seed=2,
+        ).run()
+        assert res_id.gathered and res_rand.gathered
+        assert res_id.rounds == res_rand.rounds
+        assert res_id.gathering_point.distance_to(res_rand.gathering_point) < 1e-6
+
+    def test_algorithm_genuinely_consumes_chirality(self):
+        # The algorithm is equivariant under orientation-PRESERVING maps
+        # (tested above) but deliberately NOT under reflections: the
+        # clockwise side-step in a mirrored world is a different
+        # geometric move, so F(mirror(C)) != mirror(F(C)).  If this test
+        # ever finds them equal, the implementation stopped consuming
+        # the chirality assumption.
+        points = [Point(0, 0)] * 3 + [Point(1, 0), Point(3, 0), Point(0, 2)]
+        config = Configuration(points)
+        blocked = Point(3, 0)
+        d = wait_free_gather(config, blocked)
+        mirrored = [Point(p.x, -p.y) for p in points]
+        d_mirror = wait_free_gather(Configuration(mirrored), Point(3, 0))
+        assert d.y != 0.0  # the side-step leaves the axis...
+        assert d_mirror.distance_to(Point(d.x, -d.y)) > 0.1  # ...chirally
+        # Both are still legal side-steps: distance to the target kept.
+        assert abs(d.norm() - 3.0) < 1e-9
+        assert abs(d_mirror.norm() - 3.0) < 1e-9

@@ -1,0 +1,198 @@
+"""End-to-end gathering: Theorem 5.1 exercised across the full matrix.
+
+Every test here runs the complete stack — workload generator, private
+frames, scheduler, crash adversary, movement model, classification tower,
+algorithm — and asserts the only thing the paper promises: all correct
+robots end up gathered.
+"""
+
+import pytest
+
+from repro.algorithms import WaitFreeGather
+from repro.analysis import InvariantMonitor
+from repro.sim import (
+    AdversarialStop,
+    CollusiveStop,
+    CrashAfterMove,
+    CrashAtRounds,
+    CrashElected,
+    FullySynchronous,
+    HalfSplitAdversary,
+    LaggardAdversary,
+    RandomCrashes,
+    RandomStop,
+    RigidMovement,
+    RoundRobin,
+    RandomSubset,
+    Simulation,
+)
+from repro.workloads import generate
+
+WORKLOADS = [
+    "random",
+    "asymmetric",
+    "multiple",
+    "linear-unique",
+    "linear-interval",
+    "regular-polygon",
+    "biangular",
+    "qr-occupied-center",
+    "near-bivalent",
+    "unsafe-ray",
+]
+
+
+def run(points, *, scheduler=None, crashes=None, movement=None, seed=0,
+        max_rounds=15_000):
+    sim = Simulation(
+        WaitFreeGather(),
+        points,
+        scheduler=scheduler or FullySynchronous(),
+        crash_adversary=crashes,
+        movement=movement or RigidMovement(),
+        seed=seed,
+        max_rounds=max_rounds,
+    )
+    return sim.run()
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_gathers_under_fsync(self, workload):
+        for seed in range(3):
+            result = run(generate(workload, 8, seed), seed=seed)
+            assert result.gathered, f"{workload} seed {seed}: {result.verdict}"
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_gathers_under_round_robin(self, workload):
+        result = run(
+            generate(workload, 6, 1), scheduler=RoundRobin(), seed=1
+        )
+        assert result.gathered
+
+    def test_small_teams(self):
+        for n in (3, 4, 5):
+            result = run(generate("random", n, 2), seed=2)
+            assert result.gathered, f"n={n}"
+
+    def test_already_gathered_is_instant(self):
+        result = run(generate("gathered", 6, 1), seed=1)
+        assert result.gathered
+        assert result.rounds == 0
+
+
+class TestMaximalCrashes:
+    """f = n - 1: everyone but one robot may die."""
+
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_random_crashes(self, workload):
+        n = 8
+        result = run(
+            generate(workload, n, 3),
+            scheduler=RandomSubset(0.5),
+            crashes=RandomCrashes(f=n - 1, rate=0.3),
+            movement=RandomStop(0.05),
+            seed=3,
+        )
+        assert result.gathered, f"{workload}: {result.verdict}"
+
+    def test_crash_after_move_adversary(self):
+        # Lemma 5.3 C2's adversary: re-block by crashing each mover.
+        n = 8
+        result = run(
+            generate("multiple", n, 1),
+            scheduler=RoundRobin(),
+            crashes=CrashAfterMove(f=n - 1),
+            movement=AdversarialStop(0.2),
+            seed=7,
+        )
+        assert result.gathered
+
+    def test_crash_elected_adversary(self):
+        n = 8
+        result = run(
+            generate("asymmetric", n, 2),
+            scheduler=RandomSubset(0.6),
+            crashes=CrashElected(f=n - 1),
+            seed=5,
+        )
+        assert result.gathered
+
+    def test_single_survivor(self):
+        # Crash all but robot 4 immediately: the lone survivor must
+        # still satisfy GATHERED (it is trivially at one point and its
+        # instruction converges to stay).
+        n = 6
+        schedule = {rid: 0 for rid in range(n) if rid != 4}
+        result = run(
+            generate("random", n, 4),
+            scheduler=RandomSubset(0.7),
+            crashes=CrashAtRounds(schedule),
+            seed=6,
+        )
+        assert result.gathered
+        assert len(result.live_ids) == 1
+
+
+class TestHostileCombinations:
+    def test_laggard_plus_adversarial_stop(self):
+        result = run(
+            generate("asymmetric", 7, 1),
+            scheduler=LaggardAdversary(),
+            crashes=RandomCrashes(f=6, rate=0.2),
+            movement=AdversarialStop(0.15),
+            seed=8,
+        )
+        assert result.gathered
+
+    def test_half_split_scheduler(self):
+        result = run(
+            generate("near-bivalent", 8, 2),
+            scheduler=HalfSplitAdversary(),
+            movement=AdversarialStop(0.3),
+            seed=9,
+        )
+        assert result.gathered
+
+    def test_collusive_stop_cannot_trap_wfg(self):
+        # The Definition 8 attack, full strength.
+        for seed in range(4):
+            result = run(
+                generate("unsafe-ray", 8, seed),
+                scheduler=FullySynchronous(),
+                movement=CollusiveStop(0.2),
+                seed=seed,
+            )
+            assert result.gathered, f"seed {seed}"
+
+    def test_tiny_delta(self):
+        result = run(
+            generate("random", 6, 3),
+            movement=AdversarialStop(0.005),
+            seed=1,
+            max_rounds=100_000,
+        )
+        assert result.gathered
+
+
+class TestWithInvariants:
+    """Full runs with every proof obligation checked each round."""
+
+    @pytest.mark.parametrize(
+        "workload", ["asymmetric", "linear-interval", "biangular", "unsafe-ray"]
+    )
+    def test_invariants_hold_under_fire(self, workload):
+        monitor = InvariantMonitor()
+        sim = Simulation(
+            WaitFreeGather(),
+            generate(workload, 8, 5),
+            scheduler=RandomSubset(0.5),
+            crash_adversary=RandomCrashes(f=7, rate=0.25),
+            movement=RandomStop(0.05),
+            seed=11,
+            max_rounds=15_000,
+        )
+        sim.add_observer(monitor)
+        result = sim.run()  # monitor raises on any violation
+        assert result.gathered
+        assert monitor.rounds_checked > 0

@@ -1,0 +1,102 @@
+"""Property-based tests on the classification tower."""
+
+import math
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConfigClass,
+    Configuration,
+    classify,
+    destination_map,
+    safe_points,
+    symmetry,
+)
+from repro.geometry import Point, random_frame
+
+coords = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+points = st.builds(Point, coords, coords)
+clouds = st.lists(points, min_size=2, max_size=10)
+
+# Allow occasional duplicates to exercise multiplicities.
+index_pairs = st.tuples(st.integers(0, 9), st.integers(0, 9))
+
+
+def with_duplicates(pts, pairs):
+    out = list(pts)
+    for src, dst in pairs:
+        if src < len(out) and dst < len(out):
+            out[dst] = out[src]
+    return out
+
+
+@given(clouds, st.lists(index_pairs, max_size=3))
+def test_classification_total(pts, pairs):
+    config = Configuration(with_duplicates(pts, pairs))
+    assert isinstance(classify(config), ConfigClass)
+
+
+@given(clouds, st.lists(index_pairs, max_size=3))
+def test_partition_consistency(pts, pairs):
+    """Cross-check each class label against its defining predicate."""
+    config = Configuration(with_duplicates(pts, pairs))
+    cls = classify(config)
+    tops = config.max_multiplicity_points()
+    if cls is ConfigClass.BIVALENT:
+        assert len(config.support) == 2
+        assert config.mult(config.support[0]) == config.mult(config.support[1])
+    elif cls is ConfigClass.MULTIPLE:
+        assert len(tops) == 1
+    else:
+        assert len(tops) > 1
+        if cls in (
+            ConfigClass.LINEAR_UNIQUE_WEBER,
+            ConfigClass.LINEAR_MANY_WEBER,
+        ):
+            assert config.is_linear()
+        else:
+            assert not config.is_linear()
+
+
+@given(clouds)
+def test_lemma_4_2_nonlinear_has_safe_point(pts):
+    config = Configuration(pts)
+    assume(not config.is_linear())
+    assert safe_points(config)
+
+
+@given(clouds, st.lists(index_pairs, max_size=3))
+def test_wait_freedom_on_arbitrary_configs(pts, pairs):
+    """Lemma 5.1 holds at every non-bivalent configuration whatsoever."""
+    config = Configuration(with_duplicates(pts, pairs))
+    assume(classify(config) is not ConfigClass.BIVALENT)
+    stays = [
+        p
+        for p, d in destination_map(config).items()
+        if d.close_to(p, config.tol)
+    ]
+    assert len(stays) <= 1
+
+
+@given(clouds, st.integers(0, 100))
+def test_classification_frame_invariant(pts, frame_seed):
+    config = Configuration(pts)
+    cls = classify(config)
+    frame = random_frame(random.Random(frame_seed))
+    framed = Configuration([frame.to_local(p) for p in pts])
+    assert classify(framed) is cls
+
+
+@given(clouds)
+def test_symmetry_at_least_one(pts):
+    assert symmetry(Configuration(pts)) >= 1
+
+
+@given(clouds, st.lists(index_pairs, max_size=3))
+def test_destinations_are_deterministic(pts, pairs):
+    config1 = Configuration(with_duplicates(pts, pairs))
+    config2 = Configuration(with_duplicates(pts, pairs))
+    assume(classify(config1) is not ConfigClass.BIVALENT)
+    assert destination_map(config1) == destination_map(config2)

@@ -1,0 +1,94 @@
+"""The headline property: Theorem 5.1 as a hypothesis test.
+
+Random configurations, random crash schedules, random activation
+patterns, random move interruptions — every combination must end with
+the correct robots gathered, unless the start is bivalent.
+"""
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import WaitFreeGather
+from repro.core import ConfigClass, Configuration, classify
+from repro.geometry import Point
+from repro.sim import (
+    RandomCrashes,
+    RandomStop,
+    RandomSubset,
+    RoundRobin,
+    Simulation,
+)
+
+coords = st.floats(min_value=0.0, max_value=20.0, allow_nan=False)
+points = st.builds(Point, coords, coords)
+clouds = st.lists(points, min_size=3, max_size=9)
+
+run_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    derandomize=True,
+)
+
+
+@run_settings
+@given(
+    clouds,
+    st.integers(min_value=0, max_value=8),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_theorem_5_1_random_everything(pts, crash_budget, seed):
+    config = Configuration(pts)
+    assume(classify(config) is not ConfigClass.BIVALENT)
+    f = min(crash_budget, len(pts) - 1)
+    result = Simulation(
+        WaitFreeGather(),
+        pts,
+        scheduler=RandomSubset(0.5),
+        crash_adversary=RandomCrashes(f=f, rate=0.3),
+        movement=RandomStop(0.05),
+        seed=seed,
+        max_rounds=20_000,
+    ).run()
+    assert result.gathered, result.verdict
+
+
+@run_settings
+@given(clouds, st.integers(min_value=0, max_value=10_000))
+def test_round_robin_fault_free(pts, seed):
+    config = Configuration(pts)
+    assume(classify(config) is not ConfigClass.BIVALENT)
+    result = Simulation(
+        WaitFreeGather(),
+        pts,
+        scheduler=RoundRobin(),
+        seed=seed,
+        max_rounds=20_000,
+    ).run()
+    assert result.gathered, result.verdict
+
+
+@run_settings
+@given(clouds)
+def test_bivalent_never_reached(pts):
+    """No execution from a non-bivalent start ever visits class B."""
+    config = Configuration(pts)
+    assume(classify(config) is not ConfigClass.BIVALENT)
+    visited = []
+
+    def observe(record):
+        visited.append(classify(record.config_after))
+
+    sim = Simulation(
+        WaitFreeGather(),
+        pts,
+        scheduler=RandomSubset(0.6),
+        crash_adversary=RandomCrashes(f=len(pts) - 1, rate=0.25),
+        movement=RandomStop(0.1),
+        seed=7,
+        max_rounds=20_000,
+    )
+    sim.add_observer(observe)
+    result = sim.run()
+    assert result.gathered
+    assert ConfigClass.BIVALENT not in visited

@@ -1,0 +1,149 @@
+"""Property-based tests for the configuration-calculus structures.
+
+These synthesize configurations with *known* structure (rotational
+symmetry of a chosen order, angular periodicity of a chosen period,
+deliberate deficiencies covered by center wildcards) and require the
+detectors to recover exactly that structure — the constructive converse
+of the example-based unit tests.
+"""
+
+import math
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.core import (
+    Configuration,
+    classify,
+    ConfigClass,
+    periodicity,
+    quasi_regularity,
+    regularity,
+    string_of_angles,
+    symmetry,
+)
+from repro.geometry import DEFAULT_TOLERANCE, Point
+
+TOL = DEFAULT_TOLERANCE
+
+orders = st.integers(min_value=2, max_value=7)
+radii = st.floats(min_value=0.5, max_value=8.0)
+phases = st.floats(min_value=0.0, max_value=2.0 * math.pi)
+centers = st.tuples(
+    st.floats(min_value=-20, max_value=20),
+    st.floats(min_value=-20, max_value=20),
+)
+
+
+def rotate_about(p: Point, c: Point, theta: float) -> Point:
+    dx, dy = p.x - c.x, p.y - c.y
+    cos, sin = math.cos(theta), math.sin(theta)
+    return Point(c.x + cos * dx - sin * dy, c.y + sin * dx + cos * dy)
+
+
+@given(orders, radii, phases, centers)
+def test_synthesized_rotational_symmetry_detected(k, radius, phase, center_xy):
+    """A k-fold rotation orbit has sym exactly k."""
+    center = Point(*center_xy)
+    seedling = Point(center.x + radius * math.cos(phase),
+                     center.y + radius * math.sin(phase))
+    pts = [
+        rotate_about(seedling, center, 2.0 * math.pi * i / k)
+        for i in range(k)
+    ]
+    config = Configuration(pts)
+    assert symmetry(config) == k
+
+
+@given(orders, radii, phases, centers, st.integers(0, 3))
+def test_two_orbit_configuration_symmetry(k, radius, phase, center_xy, extra):
+    """Two concentric k-orbits (different radii, same phase offset)
+    still have symmetry exactly k."""
+    center = Point(*center_xy)
+    pts = []
+    for ring, r in enumerate((radius, radius * 2.0 + 0.7)):
+        seedling = Point(
+            center.x + r * math.cos(phase + 0.3 * ring),
+            center.y + r * math.sin(phase + 0.3 * ring),
+        )
+        pts.extend(
+            rotate_about(seedling, center, 2.0 * math.pi * i / k)
+            for i in range(k)
+        )
+    config = Configuration(pts)
+    assert symmetry(config) == k
+
+
+@given(
+    orders,
+    st.lists(radii, min_size=2, max_size=4),
+    st.lists(st.floats(min_value=0.15, max_value=1.2), min_size=2, max_size=4),
+    centers,
+)
+def test_synthesized_angular_periodicity_detected(m, ring_radii, gaps, center_xy):
+    """Rays whose angular pattern repeats m times are regular with
+    period (a multiple of) m, regardless of the radii."""
+    center = Point(*center_xy)
+    sector = 2.0 * math.pi / m
+    total = sum(gaps)
+    assume(total < sector * 0.98)
+    # Normalize the gap pattern into one sector, then replicate m times.
+    angles = []
+    a = 0.17
+    for gap in gaps:
+        angles.append(a)
+        a += gap * (sector * 0.9) / total
+    pts = []
+    for i in range(m):
+        for j, ang in enumerate(angles):
+            r = ring_radii[j % len(ring_radii)]
+            theta = ang + i * sector
+            pts.append(
+                Point(center.x + r * math.cos(theta),
+                      center.y + r * math.sin(theta))
+            )
+    config = Configuration(pts)
+    assume(not config.is_linear())
+    result = regularity(config)
+    assert result.is_regular
+    assert result.m % m == 0 or result.m == m * len(angles), (
+        f"period {result.m} not a multiple of {m}"
+    )
+    assert result.m >= m
+    assert result.center.distance_to(center) < 1e-5
+
+
+@given(orders, radii, phases, centers)
+def test_polygon_plus_center_wildcard_is_quasi_regular(k, radius, phase, c_xy):
+    """A k-gon with one vertex removed and a robot at the center is
+    quasi-regular: the wildcard completes the missing slot."""
+    assume(k >= 3)
+    center = Point(*c_xy)
+    pts = [center]
+    for i in range(1, k):  # drop vertex 0
+        theta = phase + 2.0 * math.pi * i / k
+        pts.append(
+            Point(center.x + radius * math.cos(theta),
+                  center.y + radius * math.sin(theta))
+        )
+    config = Configuration(pts)
+    assume(not config.is_linear())
+    qr = quasi_regularity(config)
+    assert qr.is_quasi_regular
+    assert qr.center.distance_to(center) < 1e-6
+    assert qr.m >= k or qr.m % k == 0 or k % qr.m == 0
+
+
+@given(st.lists(st.floats(min_value=0.05, max_value=2.0), min_size=1, max_size=6),
+       st.integers(min_value=2, max_value=5))
+def test_periodicity_of_replicated_strings(block, k):
+    """per(x^k) is a multiple of k for any angle block x."""
+    sa = block * k
+    per = periodicity(sa, TOL)
+    assert per % k == 0 or per == len(sa)
+    assert per >= k
+
+
+@given(st.lists(st.floats(min_value=0.05, max_value=2.0), min_size=2, max_size=8))
+def test_periodicity_at_most_length(sa):
+    assert 1 <= periodicity(sa, TOL) <= len(sa)

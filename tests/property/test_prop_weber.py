@@ -1,0 +1,101 @@
+"""Property-based tests for Weber point machinery.
+
+The two properties the algorithm's correctness leans on:
+
+* the numerical solver's answers satisfy the exact subgradient
+  certificate and beat any sampled competitor;
+* Lemma 3.2 — moving points towards the Weber point never moves it.
+"""
+
+import math
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    geometric_median,
+    is_weber_point,
+    linear_weber_interval,
+    sum_of_distances,
+)
+
+coords = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+points = st.builds(Point, coords, coords)
+clouds = st.lists(points, min_size=1, max_size=10)
+fractions = st.lists(
+    st.floats(min_value=0.0, max_value=0.95), min_size=10, max_size=10
+)
+
+
+@given(clouds)
+def test_median_is_certified(pts):
+    result = geometric_median(pts)
+    assert result.certified
+
+
+@given(clouds, points)
+def test_median_beats_arbitrary_competitor(pts, competitor):
+    result = geometric_median(pts)
+    assert result.objective <= sum_of_distances(competitor, pts) + 1e-6
+
+
+@given(clouds)
+def test_median_beats_every_input_point(pts):
+    result = geometric_median(pts)
+    best_input = min(sum_of_distances(p, pts) for p in pts)
+    assert result.objective <= best_input + 1e-6
+
+
+@given(clouds, fractions)
+def test_lemma_3_2_invariance(pts, ts):
+    """Moving any subset of points towards the Weber point keeps it.
+
+    Lemma 3.2 presumes a *unique* Weber point, so collinear inputs
+    (whose Weber points form the median interval) are excluded — for
+    them the solver's representative (the interval midpoint) is not
+    stable under partial moves, which is exactly why the paper treats
+    L2W separately.
+    """
+    from repro.geometry import all_collinear
+
+    assume(not all_collinear(pts))
+    result = geometric_median(pts)
+    assume(result.certified)
+    moved = [
+        p + (result.point - p) * t for p, t in zip(pts, ts)
+    ]
+    again = geometric_median(moved)
+    assume(again.certified)
+    # Degenerate collapses (all points merging) keep the point as well;
+    # tolerance covers solver precision on both solves.
+    assert again.point.distance_to(result.point) < 1e-5
+
+
+@given(st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=12))
+def test_linear_interval_matches_order_statistics(ts):
+    pts = [Point(t, 0.0) for t in ts]
+    lo, hi = linear_weber_interval(pts)
+    ordered = sorted(ts)
+    n = len(ordered)
+    assert math.isclose(lo.x, ordered[(n - 1) // 2], abs_tol=1e-9)
+    assert math.isclose(hi.x, ordered[n // 2], abs_tol=1e-9)
+
+
+@given(st.lists(st.floats(min_value=-50, max_value=50), min_size=1, max_size=12))
+def test_linear_interval_is_optimal(ts):
+    pts = [Point(t, 0.0) for t in ts]
+    lo, hi = linear_weber_interval(pts)
+    mid = (lo + hi) / 2
+    objective = sum_of_distances(mid, pts)
+    for t in (-60.0, -10.0, 0.0, 10.0, 60.0):
+        assert objective <= sum_of_distances(Point(t, 0.0), pts) + 1e-9
+
+
+@given(clouds)
+def test_certificate_rejects_far_points(pts):
+    result = geometric_median(pts)
+    spread = max((a.distance_to(b) for a in pts for b in pts), default=0.0)
+    assume(spread > 1.0)
+    far = result.point + Point(spread * 10, spread * 10)
+    assert not is_weber_point(far, pts)

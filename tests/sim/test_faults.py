@@ -1,0 +1,87 @@
+"""Unit tests for crash adversaries."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point
+from repro.sim import (
+    CrashAfterMove,
+    CrashAtRounds,
+    CrashElected,
+    NoCrashes,
+    RandomCrashes,
+)
+
+POSITIONS = {0: Point(0, 0), 1: Point(0, 0), 2: Point(1, 1), 3: Point(2, 2)}
+LIVE = [0, 1, 2, 3]
+
+
+class TestNoCrashes:
+    def test_never_crashes(self):
+        adv = NoCrashes()
+        for r in range(5):
+            assert adv.crashes(r, LIVE, POSITIONS, set(), random.Random(0)) == set()
+
+
+class TestScheduled:
+    def test_crashes_at_exact_round(self):
+        adv = CrashAtRounds({1: 3, 2: 5})
+        assert adv.crashes(3, LIVE, POSITIONS, set(), random.Random(0)) == {1}
+        assert adv.crashes(5, LIVE, POSITIONS, set(), random.Random(0)) == {2}
+        assert adv.crashes(4, LIVE, POSITIONS, set(), random.Random(0)) == set()
+
+    def test_dead_robots_not_recrashed(self):
+        adv = CrashAtRounds({1: 3})
+        assert adv.crashes(3, [0, 2], POSITIONS, set(), random.Random(0)) == set()
+
+
+class TestRandomCrashes:
+    def test_budget_respected(self):
+        adv = RandomCrashes(f=2, rate=1.0)
+        crashed = set()
+        live = list(LIVE)
+        for r in range(10):
+            now = adv.crashes(r, live, POSITIONS, set(), random.Random(r))
+            crashed |= now
+            live = [x for x in live if x not in crashed]
+        assert len(crashed) == 2
+
+    def test_zero_budget(self):
+        adv = RandomCrashes(f=0)
+        assert adv.crashes(0, LIVE, POSITIONS, set(), random.Random(0)) == set()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomCrashes(f=-1)
+        with pytest.raises(ValueError):
+            RandomCrashes(f=1, rate=0.0)
+
+
+class TestCrashAfterMove:
+    def test_targets_a_mover(self):
+        adv = CrashAfterMove(f=3)
+        out = adv.crashes(1, LIVE, POSITIONS, {2, 3}, random.Random(0))
+        assert out == {2}  # deterministically the lowest mover id
+
+    def test_no_movers_no_crash(self):
+        adv = CrashAfterMove(f=3)
+        assert adv.crashes(1, LIVE, POSITIONS, set(), random.Random(0)) == set()
+
+    def test_budget_exhausts(self):
+        adv = CrashAfterMove(f=1)
+        assert adv.crashes(0, LIVE, POSITIONS, {0}, random.Random(0)) == {0}
+        assert adv.crashes(1, LIVE, POSITIONS, {1}, random.Random(0)) == set()
+
+
+class TestCrashElected:
+    def test_kills_robot_at_max_multiplicity_point(self):
+        adv = CrashElected(f=1)
+        out = adv.crashes(0, LIVE, POSITIONS, set(), random.Random(0))
+        # (0,0) holds two robots: the unique max; lowest id there is 0.
+        assert out == {0}
+
+    def test_budget(self):
+        adv = CrashElected(f=1)
+        adv.crashes(0, LIVE, POSITIONS, set(), random.Random(0))
+        assert adv.crashes(1, LIVE, POSITIONS, set(), random.Random(0)) == set()

@@ -1,0 +1,46 @@
+"""Unit tests for the GATHERED predicate (Definition 9)."""
+
+from repro.algorithms import CentroidConvergence, WaitFreeGather
+from repro.geometry import DEFAULT_TOLERANCE as TOL
+from repro.geometry import Point
+from repro.sim import gathered_point, is_gathered
+
+
+class TestGatheredPoint:
+    def test_all_live_together(self):
+        positions = {0: Point(1, 1), 1: Point(1, 1), 2: Point(5, 5)}
+        assert gathered_point(positions, [0, 1], TOL) == Point(1, 1)
+
+    def test_spread_live_robots(self):
+        positions = {0: Point(1, 1), 1: Point(2, 2)}
+        assert gathered_point(positions, [0, 1], TOL) is None
+
+    def test_no_live_robots(self):
+        assert gathered_point({0: Point(0, 0)}, [], TOL) is None
+
+    def test_crashed_robots_ignored(self):
+        positions = {0: Point(1, 1), 1: Point(9, 9)}
+        assert gathered_point(positions, [0], TOL) == Point(1, 1)
+
+
+class TestIsGathered:
+    def test_definition_9_stability_clause(self):
+        # All live robots together AND the algorithm says stay.
+        positions = {0: Point(1, 1), 1: Point(1, 1), 2: Point(1, 1)}
+        assert is_gathered(positions, [0, 1, 2], WaitFreeGather(), TOL)
+
+    def test_colocated_but_unstable_not_gathered(self):
+        # Live robots together, but a crashed robot elsewhere drags the
+        # centroid away: for the centroid rule the spot is NOT stable.
+        positions = {0: Point(1, 1), 1: Point(1, 1), 2: Point(9, 9)}
+        assert not is_gathered(positions, [0, 1], CentroidConvergence(), TOL)
+
+    def test_wait_free_gather_stable_with_crashed_remnant(self):
+        # Same layout under the paper's algorithm: the pair is the unique
+        # max multiplicity, its instruction is stay => gathered.
+        positions = {0: Point(1, 1), 1: Point(1, 1), 2: Point(9, 9)}
+        assert is_gathered(positions, [0, 1], WaitFreeGather(), TOL)
+
+    def test_bivalent_refusal_is_not_gathered(self):
+        positions = {0: Point(0, 0), 1: Point(0, 0), 2: Point(1, 1), 3: Point(1, 1)}
+        assert not is_gathered(positions, [0, 1], WaitFreeGather(), TOL)

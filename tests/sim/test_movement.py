@@ -1,0 +1,96 @@
+"""Unit tests for movement models (the delta guarantee)."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import Point
+from repro.sim import AdversarialStop, CollusiveStop, RandomStop, RigidMovement
+
+O = Point(0.0, 0.0)
+RNG = random.Random(0)
+
+
+class TestRigid:
+    def test_always_arrives(self):
+        m = RigidMovement()
+        assert m.endpoint(O, Point(100, 0), RNG) == Point(100, 0)
+
+
+class TestAdversarialStop:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdversarialStop(0.0)
+
+    def test_short_moves_complete(self):
+        m = AdversarialStop(1.0)
+        assert m.endpoint(O, Point(0.5, 0), RNG) == Point(0.5, 0)
+
+    def test_long_moves_cut_at_delta(self):
+        m = AdversarialStop(1.0)
+        end = m.endpoint(O, Point(10, 0), RNG)
+        assert end.close_to(Point(1, 0))
+
+    def test_cut_is_along_the_segment(self):
+        m = AdversarialStop(1.0)
+        end = m.endpoint(O, Point(3, 4), RNG)
+        assert math.isclose(end.norm(), 1.0)
+        assert math.isclose(end.y / end.x, 4.0 / 3.0)
+
+
+class TestRandomStop:
+    def test_progress_at_least_delta(self):
+        m = RandomStop(0.5)
+        rng = random.Random(7)
+        for _ in range(50):
+            end = m.endpoint(O, Point(10, 0), rng)
+            assert end.x >= 0.5 - 1e-12
+            assert end.x <= 10.0
+
+    def test_short_moves_complete(self):
+        m = RandomStop(0.5)
+        assert m.endpoint(O, Point(0.3, 0), RNG) == Point(0.3, 0)
+
+
+class TestCollusiveStop:
+    def test_stacks_co_ray_movers(self):
+        m = CollusiveStop(1.0)
+        dest = Point(0, 0)
+        moves = {
+            0: (Point(4, 0), dest),
+            1: (Point(6, 0), dest),
+            2: (Point(0, 5), dest),  # different ray: unaffected
+        }
+        m.begin_round(moves)
+        e0 = m.endpoint_for(0, *moves[0])
+        e1 = m.endpoint_for(1, *moves[1])
+        e2 = m.endpoint_for(2, *moves[2])
+        assert e0 == e1  # stacked bitwise
+        assert e0.close_to(Point(3, 0))  # least-advanced mover walks delta
+        assert e2 == dest
+
+    def test_progress_guarantee_respected(self):
+        m = CollusiveStop(1.0)
+        dest = Point(0, 0)
+        moves = {0: (Point(2, 0), dest), 1: (Point(9, 0), dest)}
+        m.begin_round(moves)
+        for rid, (origin, d) in moves.items():
+            end = m.endpoint_for(rid, origin, d)
+            assert origin.distance_to(end) >= 1.0 - 1e-12
+
+    def test_short_moves_arrive(self):
+        m = CollusiveStop(1.0)
+        dest = Point(0, 0)
+        moves = {0: (Point(0.5, 0), dest), 1: (Point(6, 0), dest)}
+        m.begin_round(moves)
+        assert m.endpoint_for(0, Point(0.5, 0), dest) == dest
+        # Only one long mover remains on the ray: no group, arrives.
+        assert m.endpoint_for(1, Point(6, 0), dest) == dest
+
+    def test_singleton_groups_arrive(self):
+        m = CollusiveStop(1.0)
+        moves = {0: (Point(5, 0), Point(0, 0)), 1: (Point(0, 7), Point(1, 1))}
+        m.begin_round(moves)
+        assert m.endpoint_for(0, Point(5, 0), Point(0, 0)) == Point(0, 0)
+        assert m.endpoint_for(1, Point(0, 7), Point(1, 1)) == Point(1, 1)

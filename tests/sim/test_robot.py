@@ -1,0 +1,41 @@
+"""Unit tests for the Robot record."""
+
+from repro.geometry import Frame, Point
+from repro.sim import Robot
+
+
+class TestLifecycle:
+    def test_starts_live(self):
+        r = Robot(robot_id=0, position=Point(1, 2))
+        assert r.live and not r.crashed
+        assert r.crash_round is None
+
+    def test_crash_is_permanent_and_timestamped(self):
+        r = Robot(robot_id=0, position=Point(1, 2))
+        r.crash(7)
+        assert r.crashed and not r.live
+        assert r.crash_round == 7
+
+    def test_double_crash_keeps_first_timestamp(self):
+        r = Robot(robot_id=0, position=Point(1, 2))
+        r.crash(3)
+        r.crash(9)
+        assert r.crash_round == 3
+
+
+class TestFrames:
+    def test_anchored_frame_centers_on_position(self):
+        r = Robot(
+            robot_id=1,
+            position=Point(4, -2),
+            frame=Frame(Point(0, 0), theta=0.5, scale=2.0),
+        )
+        anchored = r.anchored_frame()
+        assert anchored.to_local(r.position).close_to(Point(0, 0))
+        # Rotation and scale are the robot's own, unchanged.
+        assert anchored.theta == 0.5
+        assert anchored.scale == 2.0
+
+    def test_distance_accumulator_defaults_zero(self):
+        r = Robot(robot_id=2, position=Point(0, 0))
+        assert r.distance_travelled == 0.0

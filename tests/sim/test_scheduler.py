@@ -1,0 +1,132 @@
+"""Unit tests for schedulers and fairness enforcement."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point
+from repro.sim import (
+    FairnessWrapper,
+    FullySynchronous,
+    HalfSplitAdversary,
+    LaggardAdversary,
+    RandomSubset,
+    RoundRobin,
+)
+
+IDS = [0, 1, 2, 3, 4]
+
+
+class TestFullySynchronous:
+    def test_selects_everyone(self):
+        s = FullySynchronous()
+        assert s.select(0, IDS, random.Random(0)) == set(IDS)
+
+    def test_empty_live_set(self):
+        assert FullySynchronous().select(3, [], random.Random(0)) == set()
+
+
+class TestRoundRobin:
+    def test_one_per_round_cycling(self):
+        s = RoundRobin()
+        seen = [s.select(r, IDS, random.Random(0)) for r in range(5)]
+        assert all(len(sel) == 1 for sel in seen)
+        assert set().union(*seen) == set(IDS)
+
+    def test_skips_dead_robots(self):
+        s = RoundRobin()
+        live = [1, 3]
+        picks = {next(iter(s.select(r, live, random.Random(0)))) for r in range(4)}
+        assert picks == {1, 3}
+
+
+class TestRandomSubset:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            RandomSubset(0.0)
+        with pytest.raises(ValueError):
+            RandomSubset(1.5)
+
+    def test_p_one_selects_all(self):
+        s = RandomSubset(1.0)
+        assert s.select(0, IDS, random.Random(1)) == set(IDS)
+
+    def test_subset_of_live(self):
+        s = RandomSubset(0.5)
+        sel = s.select(0, IDS, random.Random(2))
+        assert sel <= set(IDS)
+
+
+class TestLaggard:
+    def test_victim_starved(self):
+        s = LaggardAdversary(victim=0)
+        sel = s.select(0, IDS, random.Random(0))
+        assert 0 not in sel
+        assert sel == {1, 2, 3, 4}
+
+    def test_victim_replaced_when_dead(self):
+        s = LaggardAdversary(victim=0)
+        sel = s.select(0, [1, 2, 3], random.Random(0))
+        assert 1 not in sel  # new victim = min live id
+
+
+class TestHalfSplit:
+    def test_alternates_clusters(self):
+        s = HalfSplitAdversary()
+        positions = {0: Point(0, 0), 1: Point(0, 0), 2: Point(5, 5), 3: Point(5, 5)}
+        s.observe(positions)
+        even = s.select(0, [0, 1, 2, 3], random.Random(0))
+        odd = s.select(1, [0, 1, 2, 3], random.Random(0))
+        assert even == {0, 1}
+        assert odd == {2, 3}
+
+    def test_without_observation_selects_all(self):
+        s = HalfSplitAdversary()
+        assert s.select(0, IDS, random.Random(0)) == set(IDS)
+
+
+class TestFairnessWrapper:
+    def test_forces_starved_robot(self):
+        class Never:
+            name = "never"
+
+            def select(self, r, live, rng):
+                return set()
+
+        w = FairnessWrapper(Never(), bound=3)
+        last_active = {rid: -1 for rid in IDS}
+        # At round 3, every robot has been idle for >= 3 rounds.
+        sel = w.select(3, IDS, random.Random(0), last_active)
+        assert sel == set(IDS)
+
+    def test_empty_selection_gets_fallback(self):
+        class Never:
+            name = "never"
+
+            def select(self, r, live, rng):
+                return set()
+
+        w = FairnessWrapper(Never(), bound=100)
+        sel = w.select(0, IDS, random.Random(0), {rid: -1 for rid in IDS})
+        assert len(sel) == 1  # longest-idle robot activated
+
+    def test_laggard_is_eventually_fair(self):
+        w = FairnessWrapper(LaggardAdversary(victim=0), bound=5)
+        last_active = {rid: -1 for rid in IDS}
+        activated_rounds = []
+        for r in range(12):
+            sel = w.select(r, IDS, random.Random(0), last_active)
+            for rid in sel:
+                last_active[rid] = r
+            if 0 in sel:
+                activated_rounds.append(r)
+        assert activated_rounds, "victim must eventually run"
+
+    def test_bound_validation(self):
+        with pytest.raises(ValueError):
+            FairnessWrapper(FullySynchronous(), bound=0)
+
+    def test_dead_robots_never_selected(self):
+        w = FairnessWrapper(FullySynchronous(), bound=4)
+        sel = w.select(0, [1, 2], random.Random(0), {})
+        assert sel == {1, 2}

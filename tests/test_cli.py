@@ -1,0 +1,144 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.workload == "random"
+        assert args.algorithm == "wait-free-gather"
+
+    def test_bad_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--workload", "nope"])
+
+
+class TestSimulate:
+    def test_successful_run_exit_zero(self, capsys):
+        code = main(
+            ["simulate", "--workload", "asymmetric", "--n", "6", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict    : gathered" in out
+
+    def test_crash_tolerant_run(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--workload", "random",
+                "--n", "6",
+                "--f", "5",
+                "--crashes", "random",
+                "--seed", "2",
+            ]
+        )
+        assert code == 0
+        assert "gathered" in capsys.readouterr().out
+
+    def test_bivalent_reports_impossible(self, capsys):
+        code = main(
+            ["simulate", "--workload", "bivalent", "--n", "6", "--seed", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0  # impossibility correctly detected is a success
+        assert "impossible" in out
+
+    def test_trace_flag_prints_rounds(self, capsys):
+        main(
+            [
+                "simulate",
+                "--workload", "multiple",
+                "--n", "6",
+                "--seed", "1",
+                "--trace",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "[M]" in out
+
+
+class TestClassify:
+    def test_polygon_reports_qr(self, capsys):
+        code = main(
+            ["classify", "--workload", "regular-polygon", "--n", "6",
+             "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "class  : QR" in out
+        assert "qreg   : 6" in out
+
+    def test_bivalent_reports_b(self, capsys):
+        main(["classify", "--workload", "bivalent", "--n", "6"])
+        out = capsys.readouterr().out
+        assert "class  : B" in out
+        assert "safe   : 0" in out
+
+
+class TestHunt:
+    def test_hunt_naive_leader_finds_trap(self, capsys):
+        code = main(
+            [
+                "hunt",
+                "--algorithm", "naive-leader",
+                "--workload", "unsafe-ray",
+                "--n", "8",
+                "--rounds", "10",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reached B : True" in out
+
+    def test_hunt_wfg_survives(self, capsys):
+        code = main(["hunt", "--n", "6", "--rounds", "15"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reached B : False" in out
+
+
+class TestRender:
+    def test_render_run(self, capsys, tmp_path):
+        target = str(tmp_path / "run.svg")
+        code = main(
+            ["render", target, "--workload", "asymmetric", "--n", "6",
+             "--seed", "1"]
+        )
+        assert code == 0
+        with open(target) as handle:
+            assert handle.read().startswith("<svg")
+        assert "gathered" in capsys.readouterr().out
+
+    def test_render_snapshot(self, capsys, tmp_path):
+        target = str(tmp_path / "snap.svg")
+        code = main(
+            ["render", target, "--workload", "regular-polygon", "--n", "6",
+             "--snapshot"]
+        )
+        assert code == 0
+        with open(target) as handle:
+            assert "Weber point" in handle.read()
+
+
+class TestSaveTrace:
+    def test_trace_json_written_and_loadable(self, capsys, tmp_path):
+        from repro.sim import Trace
+
+        target = str(tmp_path / "trace.json")
+        code = main(
+            ["simulate", "--workload", "multiple", "--n", "6",
+             "--seed", "1", "--save-trace", target]
+        )
+        assert code == 0
+        assert "trace saved" in capsys.readouterr().out
+        with open(target) as handle:
+            trace = Trace.from_json(handle.read())
+        assert len(trace) > 0

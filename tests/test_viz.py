@@ -1,0 +1,123 @@
+"""Unit tests for the SVG visualization layer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.algorithms import WaitFreeGather
+from repro.core import Configuration
+from repro.geometry import Point
+from repro.sim import CrashAtRounds, Simulation
+from repro.viz import SvgDocument, render_configuration, render_trace, robot_color
+from repro.workloads import generate
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text: str) -> ET.Element:
+    return ET.fromstring(svg_text)
+
+
+class TestSvgDocument:
+    def test_valid_xml(self):
+        doc = SvgDocument(100, 100, world=(0, 0, 10, 10))
+        doc.circle(5, 5, 3)
+        doc.line(0, 0, 10, 10)
+        doc.polyline([(0, 0), (1, 1), (2, 0)])
+        doc.text(5, 5, "hello <world> & co")
+        root = parse(doc.to_string())
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_coordinate_mapping_flips_y(self):
+        doc = SvgDocument(100, 100, world=(0, 0, 10, 10), margin=0.0)
+        px_low = doc.px(0, 0)
+        px_high = doc.px(0, 10)
+        assert px_low[1] > px_high[1]  # higher world y = smaller pixel y
+
+    def test_mapping_is_uniform_scale(self):
+        doc = SvgDocument(100, 100, world=(0, 0, 10, 5), margin=0.0)
+        ax, ay = doc.px(0, 0)
+        bx, by = doc.px(10, 0)
+        cx, cy = doc.px(0, 5)
+        assert abs((bx - ax) / 10 - (ay - cy) / 5) < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SvgDocument(0, 100)
+
+    def test_save(self, tmp_path):
+        doc = SvgDocument(50, 50)
+        path = tmp_path / "x.svg"
+        doc.save(str(path))
+        assert path.read_text().startswith("<svg")
+
+
+class TestRenderConfiguration:
+    def test_contains_circle_per_support_point(self):
+        config = Configuration(generate("asymmetric", 7, 1))
+        root = parse(render_configuration(config))
+        circles = root.findall(f".//{SVG_NS}circle")
+        # at least one marker circle per support point + SEC ring.
+        assert len(circles) >= len(config.support) + 1
+
+    def test_multiplicity_labels(self):
+        config = Configuration([Point(0, 0)] * 3 + [Point(3, 1), Point(1, 4)])
+        svg = render_configuration(config)
+        assert "x3" in svg
+
+    def test_caption_included(self):
+        config = Configuration(generate("multiple", 6, 0))
+        svg = render_configuration(config, caption="my caption")
+        assert "my caption" in svg
+
+    def test_weber_marker_for_qr(self):
+        config = Configuration(generate("regular-polygon", 6, 1))
+        svg = render_configuration(config)
+        assert "Weber point" in svg
+
+
+class TestRenderTrace:
+    def _run(self):
+        from repro.sim import RoundRobin
+
+        sim = Simulation(
+            WaitFreeGather(),
+            generate("random", 6, 2),
+            scheduler=RoundRobin(),
+            crash_adversary=CrashAtRounds({1: 0}),
+            seed=4,
+            record_trace=True,
+        )
+        result = sim.run()
+        assert result.crashed_ids == (1,)
+        return result
+
+    def test_renders_valid_svg_with_paths(self):
+        result = self._run()
+        root = parse(render_trace(result.trace, result))
+        polylines = root.findall(f".//{SVG_NS}polyline")
+        assert len(polylines) == 6  # one per robot
+
+    def test_crash_marker_present(self):
+        result = self._run()
+        svg = render_trace(result.trace, result)
+        # The crash X marker contributes bare <line> elements in red.
+        assert "#cc0000" in svg
+
+    def test_empty_trace_rejected(self):
+        from repro.sim import Trace
+
+        with pytest.raises(ValueError):
+            render_trace(Trace())
+
+    def test_caption_has_verdict(self):
+        result = self._run()
+        svg = render_trace(result.trace, result)
+        assert "verdict=gathered" in svg
+
+
+class TestPalette:
+    def test_stable_and_cycling(self):
+        assert robot_color(0) == robot_color(0)
+        assert robot_color(0) == robot_color(8)  # palette of 8 cycles
+        assert robot_color(0) != robot_color(1)

@@ -1,0 +1,72 @@
+"""Unit tests for workload perturbations."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.workloads import break_symmetry, jitter
+
+from ..conftest import regular_ngon
+
+O = Point(0.0, 0.0)
+
+
+class TestJitter:
+    def test_empty(self):
+        assert jitter([], 0.1) == []
+
+    def test_magnitude_bounded(self):
+        pts = regular_ngon(6, radius=2.0)
+        moved = jitter(pts, magnitude=0.05, seed=3)
+        assert all(
+            p.distance_to(q) <= 0.05 + 1e-12 for p, q in zip(pts, moved)
+        )
+
+    def test_deterministic(self):
+        pts = regular_ngon(5)
+        assert jitter(pts, 0.1, seed=1) == jitter(pts, 0.1, seed=1)
+
+    def test_zero_magnitude_identity(self):
+        pts = regular_ngon(5)
+        assert jitter(pts, 0.0, seed=1) == pts
+
+
+class TestBreakSymmetry:
+    def test_moves_exactly_one_point(self):
+        pts = regular_ngon(6, radius=2.0)
+        moved = break_symmetry(pts, magnitude=0.2, seed=1)
+        changed = [1 for p, q in zip(pts, moved) if p != q]
+        assert len(changed) == 1
+
+    def test_count_moves_that_many(self):
+        pts = regular_ngon(8, radius=2.0)
+        moved = break_symmetry(pts, magnitude=0.2, seed=1, count=3)
+        changed = [1 for p, q in zip(pts, moved) if p != q]
+        assert len(changed) == 3
+
+    def test_offset_has_requested_magnitude(self):
+        pts = regular_ngon(6, radius=2.0)
+        moved = break_symmetry(pts, magnitude=0.2, seed=2)
+        deltas = [p.distance_to(q) for p, q in zip(pts, moved) if p != q]
+        assert len(deltas) == 1
+        assert math.isclose(deltas[0], 0.2, rel_tol=1e-9)
+
+    def test_tangential_mode_perpendicular_to_ray(self):
+        pts = regular_ngon(6, radius=2.0)
+        moved = break_symmetry(
+            pts, magnitude=0.2, seed=4, tangential_about=O
+        )
+        (pair,) = [(p, q) for p, q in zip(pts, moved) if p != q]
+        p, q = pair
+        offset = q - p
+        radial = p - O
+        assert abs(offset.dot(radial)) < 1e-9  # perpendicular
+
+    def test_tangential_guard(self):
+        pts = [Point(0.1, 0.0)]
+        with pytest.raises(ValueError):
+            break_symmetry(pts, magnitude=0.2, seed=0, tangential_about=O)
+
+    def test_empty(self):
+        assert break_symmetry([], 0.1) == []
