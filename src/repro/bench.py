@@ -1,0 +1,180 @@
+"""Benchmark harness — ``repro-gather bench``.
+
+Measures the hot geometry primitives (micro benchmarks) and end-to-end
+round throughput of the simulator for every available kernel backend,
+and writes the results as one JSON document (``BENCH_micro.json`` at the
+repo root by default).  The JSON is the repo's performance record: the
+recorded ``speedups`` section is how the "numpy backend is >= 3x faster
+at n = 256" claim in README.md is regenerated.
+
+Schema (``repro-bench/1``)
+--------------------------
+``micro``
+    One entry per (name, backend, n): ``best_s``/``mean_s`` over
+    ``repeats`` timed calls of one primitive on a fresh input.
+``round_throughput``
+    One entry per (backend, n): seconds for one fully-synchronous
+    ATOM round of ``wait-free-gather`` on a random workload, and the
+    derived ``robots_per_s``.
+``speedups``
+    Python-over-numpy ratios of the round times per size (only when
+    both backends ran).
+
+Timing methodology: wall-clock ``time.perf_counter`` around the call,
+*best of repeats* as the headline number (robust against scheduler
+noise; the mean is also recorded).  Inputs are rebuilt fresh for every
+repetition because configurations memoize their derived structure — a
+second call on the same object would time a dict lookup.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .algorithms import WaitFreeGather
+from .core import Configuration, safe_points
+from .core.views import view_table
+from .geometry import geometric_median, kernels
+from .sim import Simulation
+from .sim.scheduler import FullySynchronous
+from .workloads import generate
+
+__all__ = ["run_bench", "write_bench", "DEFAULT_SIZES", "QUICK_SIZES"]
+
+SCHEMA = "repro-bench/1"
+DEFAULT_SIZES = [16, 64, 256]
+QUICK_SIZES = [16, 64]
+
+#: Workload seed shared by all benchmarks: timings are comparable across
+#: runs and backends because everybody measures the same point set.
+_SEED = 42
+
+
+def _time_best(fn: Callable[[], object], repeats: int) -> Dict[str, float]:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return {
+        "best_s": min(samples),
+        "mean_s": sum(samples) / len(samples),
+        "repeats": repeats,
+    }
+
+
+def _micro_cases(points) -> Dict[str, Callable[[], object]]:
+    """The micro-benchmarked primitives, each on a *fresh* input.
+
+    Every thunk rebuilds its :class:`Configuration` inside the timed
+    region where the primitive needs one, except ``configuration``
+    itself (whose construction — the tolerant cluster merge — is the
+    thing being measured).
+    """
+    return {
+        "configuration": lambda: Configuration(points),
+        "view_table": lambda: view_table(Configuration(points)),
+        "safe_points": lambda: safe_points(Configuration(points)),
+        "geometric_median": lambda: geometric_median(points),
+    }
+
+
+def _one_round_seconds(n: int) -> float:
+    """One fully-synchronous round of the paper's algorithm, timed."""
+    sim = Simulation(
+        WaitFreeGather(),
+        generate("random", n, _SEED),
+        scheduler=FullySynchronous(),
+        seed=1,
+    )
+    start = time.perf_counter()
+    sim.step()
+    return time.perf_counter() - start
+
+
+def run_bench(
+    sizes: Optional[Sequence[int]] = None,
+    repeats: int = 3,
+    backends: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict:
+    """Run the full benchmark matrix and return the JSON-ready document."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    sizes = list(sizes if sizes is not None else DEFAULT_SIZES)
+    backends = list(backends if backends is not None else kernels.available_backends())
+    say = progress or (lambda message: None)
+
+    numpy_version = None
+    if "numpy" in kernels.available_backends():
+        import numpy
+
+        numpy_version = numpy.__version__
+
+    micro: List[Dict] = []
+    round_throughput: List[Dict] = []
+    for backend_name in backends:
+        with kernels.backend(backend_name):
+            for n in sizes:
+                points = generate("random", n, _SEED)
+                for name, thunk in _micro_cases(points).items():
+                    say(f"micro {name} backend={backend_name} n={n}")
+                    entry = {"name": name, "backend": backend_name, "n": n}
+                    entry.update(_time_best(thunk, repeats))
+                    micro.append(entry)
+                say(f"round backend={backend_name} n={n}")
+                # One round is seconds-to-minutes of work at the larger
+                # sizes; a single sample is already noise-dominated by
+                # real computation, so rounds are not repeated.
+                round_s = _one_round_seconds(n)
+                round_throughput.append(
+                    {
+                        "backend": backend_name,
+                        "n": n,
+                        "round_s": round_s,
+                        "robots_per_s": n / round_s,
+                    }
+                )
+
+    speedups: List[Dict] = []
+    by_size: Dict[int, Dict[str, float]] = {}
+    for entry in round_throughput:
+        by_size.setdefault(entry["n"], {})[entry["backend"]] = entry["round_s"]
+    for n in sizes:
+        times = by_size.get(n, {})
+        if "python" in times and "numpy" in times:
+            speedups.append(
+                {
+                    "metric": "round_throughput",
+                    "n": n,
+                    "python_s": times["python"],
+                    "numpy_s": times["numpy"],
+                    "speedup": times["python"] / times["numpy"],
+                }
+            )
+
+    return {
+        "schema": SCHEMA,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python_version": sys.version.split()[0],
+        "numpy_version": numpy_version,
+        "platform": platform.platform(),
+        "workload": {"kind": "random", "seed": _SEED},
+        "sizes": sizes,
+        "repeats": repeats,
+        "backends": backends,
+        "micro": micro,
+        "round_throughput": round_throughput,
+        "speedups": speedups,
+    }
+
+
+def write_bench(document: Dict, path: str) -> None:
+    """Write the benchmark document as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")

@@ -13,7 +13,12 @@ Three subcommands:
 
 ``experiment``
     Run one of the E1-E16 experiments (or ``all``) and print its tables;
-    this is how EXPERIMENTS.md was produced.
+    this is how EXPERIMENTS.md was produced.  ``--workers N`` shards the
+    seed sweeps over processes.
+
+``bench``
+    Run the micro + round-throughput benchmarks over every available
+    kernel backend and write ``BENCH_micro.json``.
 """
 
 from __future__ import annotations
@@ -85,6 +90,22 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--full", action="store_true",
                      help="full parameter sweep (slow); default is quick mode")
     exp.add_argument("--csv", action="store_true", help="emit CSV instead of tables")
+    exp.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="shard seed sweeps over N processes "
+                          "(results identical to sequential)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run micro + round-throughput benchmarks, write JSON",
+    )
+    bench.add_argument("--output", default="BENCH_micro.json",
+                       help="path of the JSON report (default: BENCH_micro.json)")
+    bench.add_argument("--quick", action="store_true",
+                       help="small sizes only (CI-friendly)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timed repetitions per micro benchmark (best-of)")
+    bench.add_argument("--sizes", type=int, nargs="+", default=None,
+                       metavar="N", help="override the team sizes to measure")
 
     hunt = sub.add_parser(
         "hunt",
@@ -169,13 +190,38 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     for experiment_id in ids:
         _, description = EXPERIMENTS[experiment_id]
         start = time.perf_counter()
-        tables = run_experiment(experiment_id, quick=not args.full)
+        tables = run_experiment(
+            experiment_id, quick=not args.full, workers=args.workers
+        )
         elapsed = time.perf_counter() - start
         print(f"## {experiment_id.upper()}: {description}  ({elapsed:.1f}s)")
         print()
         for table in tables:
             print(table.to_csv() if args.csv else table.render())
             print()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import QUICK_SIZES, run_bench, write_bench
+
+    if args.repeats < 1:
+        print("error: --repeats must be >= 1", file=sys.stderr)
+        return 2
+    sizes = args.sizes if args.sizes else (QUICK_SIZES if args.quick else None)
+    document = run_bench(
+        sizes=sizes,
+        repeats=args.repeats,
+        progress=lambda message: print(f"  {message}", flush=True),
+    )
+    write_bench(document, args.output)
+    print(f"wrote {args.output}")
+    for entry in document["speedups"]:
+        print(
+            f"n={entry['n']}: python {entry['python_s']:.3f}s vs "
+            f"numpy {entry['numpy_s']:.3f}s per round "
+            f"-> {entry['speedup']:.1f}x"
+        )
     return 0
 
 
@@ -240,6 +286,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_classify(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "hunt":
             return _cmd_hunt(args)
         if args.command == "render":

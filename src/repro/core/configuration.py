@@ -32,6 +32,7 @@ from ..geometry import (
     Point,
     Tolerance,
     all_collinear,
+    kernels,
     smallest_enclosing_circle,
 )
 
@@ -42,8 +43,11 @@ def _merge_clusters(points: Sequence[Point], tol: Tolerance) -> Dict[Point, Poin
     """Map each input point to its cluster representative.
 
     Union-find over pairs closer than ``eps_dist``; representative is the
-    lexicographic minimum of the cluster.  Quadratic in ``n``, which is
-    fine for robot-team sizes (tens of points).
+    lexicographic minimum of the cluster, which makes the merge
+    independent of the order near-pairs are discovered in.  The reference
+    backend scans all pairs (quadratic in ``n``, fine for robot-team
+    sizes); the numpy backend gets the near-pairs from the grid-bucketed
+    :func:`repro.geometry.kernels.near_pairs` kernel instead.
     """
     pts = list(points)
     parent = list(range(len(pts)))
@@ -59,10 +63,16 @@ def _merge_clusters(points: Sequence[Point], tol: Tolerance) -> Dict[Point, Poin
         if ri != rj:
             parent[rj] = ri
 
-    for i in range(len(pts)):
-        for j in range(i + 1, len(pts)):
-            if pts[i].distance_to(pts[j]) <= tol.eps_dist:
-                union(i, j)
+    if kernels.enabled_for(len(pts)):
+        for i, j in kernels.near_pairs(
+            [(p.x, p.y) for p in pts], tol.eps_dist
+        ):
+            union(i, j)
+    else:
+        for i in range(len(pts)):
+            for j in range(i + 1, len(pts)):
+                if pts[i].distance_to(pts[j]) <= tol.eps_dist:
+                    union(i, j)
 
     rep_of_root: Dict[int, Point] = {}
     for i, p in enumerate(pts):
@@ -95,6 +105,8 @@ class Configuration:
         "_rep_of_input",
         "_sec",
         "_is_linear",
+        "_sorted",
+        "_hash",
         "_cache",
     )
 
@@ -123,6 +135,11 @@ class Configuration:
         self._mult: Dict[Point, int] = mult
         self._sec: Optional[Circle] = None
         self._is_linear: Optional[bool] = None
+        # Sorted multiset and its hash, computed lazily: __eq__/__hash__
+        # are hit by trace dedup and memo keys, and re-sorting the full
+        # multiset on every call dominated those paths.
+        self._sorted: Optional[Tuple[Point, ...]] = None
+        self._hash: Optional[int] = None
         # Free-form memo used by the higher layers (views, classification,
         # quasi-regularity); keyed by strings private to each module.
         self._cache: Dict[str, object] = {}
@@ -186,13 +203,21 @@ class Configuration:
     def __iter__(self):
         return iter(self._points)
 
+    def _sorted_points(self) -> Tuple[Point, ...]:
+        """The multiset in sorted order, cached after the first use."""
+        if self._sorted is None:
+            self._sorted = tuple(sorted(self._points))
+        return self._sorted
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Configuration):
             return NotImplemented
-        return sorted(self._points) == sorted(other._points)
+        return self._sorted_points() == other._sorted_points()
 
     def __hash__(self) -> int:
-        return hash(tuple(sorted(self._points)))
+        if self._hash is None:
+            self._hash = hash(self._sorted_points())
+        return self._hash
 
     def __repr__(self) -> str:
         parts = ", ".join(

@@ -18,11 +18,11 @@ from __future__ import annotations
 import math
 from typing import Dict, List
 
-from ..geometry import Point, direction_angle, normalize_angle
+from ..geometry import Point, direction_angle, kernels, normalize_angle
 from .configuration import Configuration
-from .successor import ray_structure
+from .successor import MAX_ANGULAR_RESOLUTION, ray_structure
 
-__all__ = ["max_ray_load", "is_safe_point", "safe_points"]
+__all__ = ["max_ray_load", "is_safe_point", "safe_points", "all_max_ray_loads"]
 
 
 def max_ray_load(config: Configuration, p: Point) -> int:
@@ -42,6 +42,29 @@ def is_safe_point(config: Configuration, p: Point) -> bool:
     return max_ray_load(config, p) <= bound
 
 
+def all_max_ray_loads(config: Configuration) -> List[int]:
+    """Max ray load of every support point, in support order (memoized).
+
+    The scan over all occupied positions is the hot loop of safe-point
+    detection; under the numpy backend one batch kernel call replaces
+    the per-center :func:`~repro.core.successor.ray_structure` walks.
+    """
+
+    def compute() -> List[int]:
+        tol = config.tol
+        if kernels.enabled_for(len(config.support)):
+            return kernels.max_ray_loads(
+                [(p.x, p.y) for p in config.support],
+                [config.mult(p) for p in config.support],
+                tol.eps_dist,
+                tol.eps_angle,
+                MAX_ANGULAR_RESOLUTION,
+            )
+        return [max_ray_load(config, p) for p in config.support]
+
+    return config.memo("ray_loads", compute)
+
+
 def safe_points(config: Configuration) -> List[Point]:
     """All safe occupied positions of ``U(C)``.
 
@@ -51,6 +74,12 @@ def safe_points(config: Configuration) -> List[Point]:
     """
 
     def compute() -> List[Point]:
-        return [p for p in config.support if is_safe_point(config, p)]
+        bound = math.ceil(config.n / 2) - 1
+        loads = all_max_ray_loads(config)
+        return [
+            p
+            for p, load in zip(config.support, loads)
+            if load <= bound
+        ]
 
     return config.memo("safe_points", compute)

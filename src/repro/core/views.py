@@ -33,6 +33,7 @@ from ..geometry import (
     Point,
     Tolerance,
     clockwise_angle,
+    kernels,
 )
 from .configuration import Configuration
 
@@ -103,14 +104,29 @@ def _compute_view_table(config: Configuration) -> Dict[Point, View]:
     c = config.sec_center()
     table: Dict[Point, View] = {}
     center_points: List[Point] = []
+    outer: List[Point] = []
     for p in support:
         if p.close_to(c, tol):
             # With exact sensing at most one support point coincides
             # with the SEC center, but at coarse (sensor-limited)
             # resolutions several may fall inside the band.
             center_points.append(p)
-            continue
-        table[p] = _polar_view(config, p, c)
+        else:
+            outer.append(p)
+    if outer and kernels.enabled_for(config.n):
+        # One batch kernel call serializes every non-central origin at
+        # once; the scalar path below is the reference it must match.
+        views = kernels.batch_polar_views(
+            [(p.x, p.y) for p in outer],
+            [(q.x, q.y) for q in config.points],
+            (c.x, c.y),
+            tol.eps_dist,
+            tol.eps_angle,
+        )
+        table.update(zip(outer, views))
+    else:
+        for p in outer:
+            table[p] = _polar_view(config, p, c)
 
     if center_points:
         # Reference for a central position: an occupied position with

@@ -10,6 +10,8 @@ sensor noise).  Each module exposes ``run(quick)`` -> list of
 :class:`~repro.experiments.report.Table`.
 """
 
+import inspect
+
 from . import (
     e1_main_theorem,
     e10_async,
@@ -61,11 +63,17 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(experiment_id: str, quick: bool = True):
-    """Run one experiment by id; returns its list of tables."""
+def run_experiment(experiment_id: str, quick: bool = True, workers=None):
+    """Run one experiment by id; returns its list of tables.
+
+    ``workers`` is forwarded to experiments whose ``run`` accepts it
+    (the seed-sweep-heavy ones); the rest run sequentially as before.
+    """
     try:
         module, _ = EXPERIMENTS[experiment_id]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise ValueError(f"unknown experiment {experiment_id!r}; known: {known}")
+    if workers and "workers" in inspect.signature(module.run).parameters:
+        return module.run(quick=quick, workers=workers)
     return module.run(quick=quick)

@@ -17,19 +17,37 @@ searches for a move sequence leading to ``B``.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 from ..algorithms import ALGORITHMS
 from ..analysis.adversary_search import BivalentHunt
 from ..workloads import generate
 from .report import Table
+from .runner import executor, parallel_map
 
 __all__ = ["run"]
 
 WORKLOADS = ["unsafe-ray", "near-bivalent", "multiple", "random"]
 
 
-def run(quick: bool = True) -> List[Table]:
+def _hunt_one(cell: Tuple[str, str, int, int, int]) -> Tuple[bool, float]:
+    """One adversarial hunt, reduced to its two summary fields.
+
+    Module-level so it pickles for the worker pool; only the picklable
+    summary crosses the process boundary, not the hunt object.
+    """
+    algorithm, workload, n, seed, rounds = cell
+    hunt = BivalentHunt(
+        ALGORITHMS[algorithm](),
+        generate(workload, n, seed),
+        seed=seed,
+        subset_budget=6,
+    )
+    result = hunt.run(max_rounds=rounds)
+    return result.reached_bivalent, result.best_score
+
+
+def run(quick: bool = True, workers: Optional[int] = None) -> List[Table]:
     seeds = range(4) if quick else range(15)
     sizes = [8] if quick else [6, 8, 12]
     rounds = 40 if quick else 80
@@ -47,31 +65,28 @@ def run(quick: bool = True) -> List[Table]:
             "min score seen",
         ],
     )
-    for algorithm in ("naive-leader", "wait-free-gather"):
-        for workload in WORKLOADS:
-            for n in sizes:
-                reached = 0
-                min_score = None
-                for seed in seeds:
-                    hunt = BivalentHunt(
-                        ALGORITHMS[algorithm](),
-                        generate(workload, n, seed),
-                        seed=seed,
-                        subset_budget=6,
+    with executor(workers) as pool:
+        for algorithm in ("naive-leader", "wait-free-gather"):
+            for workload in WORKLOADS:
+                for n in sizes:
+                    outcomes = parallel_map(
+                        _hunt_one,
+                        [
+                            (algorithm, workload, n, seed, rounds)
+                            for seed in seeds
+                        ],
+                        pool=pool,
                     )
-                    result = hunt.run(max_rounds=rounds)
-                    if result.reached_bivalent:
-                        reached += 1
-                    if min_score is None or result.best_score < min_score:
-                        min_score = result.best_score
-                table.add_row(
-                    algorithm,
-                    workload,
-                    n,
-                    len(list(seeds)),
-                    reached,
-                    min_score,
-                )
+                    reached = sum(1 for hit, _ in outcomes if hit)
+                    min_score = min(score for _, score in outcomes)
+                    table.add_row(
+                        algorithm,
+                        workload,
+                        n,
+                        len(outcomes),
+                        reached,
+                        min_score,
+                    )
     table.add_note(
         "score 0 = bivalent reached; wait-free-gather rows must show "
         "'reached B' = 0 with a strictly positive score floor."

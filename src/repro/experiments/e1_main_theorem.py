@@ -12,11 +12,11 @@ every cell; any other number is a reproduction failure.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..sim import summarize_runs
 from .report import Table
-from .runner import Scenario, run_batch
+from .runner import Scenario, executor, run_batch
 
 __all__ = ["run"]
 
@@ -34,13 +34,23 @@ WORKLOADS = [
 SCHEDULERS = ["fsync", "round-robin", "random", "laggard"]
 
 
-def run(quick: bool = True) -> List[Table]:
-    """Return the E1 tables (success by class/f, success by scheduler)."""
+def run(quick: bool = True, workers: Optional[int] = None) -> List[Table]:
+    """Return the E1 tables (success by class/f, success by scheduler).
+
+    ``workers`` shards the seed sweeps of every matrix cell over that
+    many processes (one shared pool for the whole experiment); results
+    are identical to the sequential run.
+    """
     if quick:
         sizes, seeds, schedulers = [6, 8], range(5), ["fsync", "random"]
     else:
         sizes, seeds, schedulers = [6, 8, 12, 16], range(30), SCHEDULERS
 
+    with executor(workers) as pool:
+        return _run_tables(sizes, seeds, schedulers, pool)
+
+
+def _run_tables(sizes, seeds, schedulers, pool) -> List[Table]:
     by_class = Table(
         "E1a",
         "Theorem 5.1: gathering success rate by initial class and fault "
@@ -60,7 +70,7 @@ def run(quick: bool = True) -> List[Table]:
                         crashes="random",
                         movement="random-stop",
                     )
-                    results.extend(run_batch(scenario, seeds))
+                    results.extend(run_batch(scenario, seeds, pool=pool))
                 summary = summarize_runs(results)
                 by_class.add_row(
                     workload,
@@ -95,7 +105,7 @@ def run(quick: bool = True) -> List[Table]:
                     crashes=crashes,
                     movement=movement,
                 )
-                results.extend(run_batch(scenario, seeds))
+                results.extend(run_batch(scenario, seeds, pool=pool))
             summary = summarize_runs(results)
             by_adversary.add_row(
                 scheduler,

@@ -11,18 +11,46 @@ classification tower (views are O(n^2 log n)).
 from __future__ import annotations
 
 import time
-from typing import List
+from typing import List, Optional, Tuple
 
 from ..algorithms import WaitFreeGather
-from ..sim import Simulation, summarize_runs
+from ..sim import Simulation, SimulationResult, summarize_runs
 from ..workloads import generate
 from .report import Table
-from .runner import make_crashes, make_movement, make_scheduler
+from .runner import (
+    executor,
+    make_crashes,
+    make_movement,
+    make_scheduler,
+    parallel_map,
+)
 
 __all__ = ["run"]
 
 
-def run(quick: bool = True) -> List[Table]:
+def _run_one(cell: Tuple[str, int, int]) -> Tuple[SimulationResult, float]:
+    """One (scheduler, n, seed) run plus its own wall time.
+
+    Module-level so it pickles for the worker pool; the wall time is
+    measured inside the worker so the per-run compute cost stays
+    meaningful under parallel execution.
+    """
+    scheduler, n, seed = cell
+    sim = Simulation(
+        WaitFreeGather(),
+        generate("random", n, seed),
+        scheduler=make_scheduler(scheduler),
+        crash_adversary=make_crashes("random", n // 2),
+        movement=make_movement("random-stop"),
+        seed=seed + 1,
+        max_rounds=30_000,
+    )
+    start = time.perf_counter()
+    result = sim.run()
+    return result, time.perf_counter() - start
+
+
+def run(quick: bool = True, workers: Optional[int] = None) -> List[Table]:
     sizes = [4, 8, 16] if quick else [4, 8, 16, 32, 64]
     seeds = range(3) if quick else range(10)
 
@@ -40,30 +68,24 @@ def run(quick: bool = True) -> List[Table]:
             "mean wall s/run",
         ],
     )
-    for scheduler in ("fsync", "round-robin"):
-        for n in sizes:
-            results = []
-            start = time.perf_counter()
-            for seed in seeds:
-                sim = Simulation(
-                    WaitFreeGather(),
-                    generate("random", n, seed),
-                    scheduler=make_scheduler(scheduler),
-                    crash_adversary=make_crashes("random", n // 2),
-                    movement=make_movement("random-stop"),
-                    seed=seed + 1,
-                    max_rounds=30_000,
+    with executor(workers) as pool:
+        for scheduler in ("fsync", "round-robin"):
+            for n in sizes:
+                outcomes = parallel_map(
+                    _run_one,
+                    [(scheduler, n, seed) for seed in seeds],
+                    pool=pool,
                 )
-                results.append(sim.run())
-            elapsed = time.perf_counter() - start
-            summary = summarize_runs(results)
-            table.add_row(
-                scheduler,
-                n,
-                summary.runs,
-                summary.gathered,
-                summary.mean_rounds_gathered,
-                summary.max_rounds_gathered,
-                elapsed / len(results),
-            )
+                results = [result for result, _ in outcomes]
+                elapsed = sum(wall for _, wall in outcomes)
+                summary = summarize_runs(results)
+                table.add_row(
+                    scheduler,
+                    n,
+                    summary.runs,
+                    summary.gathered,
+                    summary.mean_rounds_gathered,
+                    summary.max_rounds_gathered,
+                    elapsed / len(results),
+                )
     return [table]

@@ -8,10 +8,14 @@ its table.  Everything is deterministic in the seed.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from functools import partial
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
 from ..algorithms import ALGORITHMS, GatheringAlgorithm
+from ..geometry import kernels
 from ..sim import (
     AdversarialStop,
     CollusiveStop,
@@ -32,7 +36,16 @@ from ..sim import (
 )
 from ..workloads import generate
 
-__all__ = ["Scenario", "run_scenario", "run_batch", "make_scheduler", "make_crashes", "make_movement"]
+__all__ = [
+    "Scenario",
+    "run_scenario",
+    "run_batch",
+    "parallel_map",
+    "executor",
+    "make_scheduler",
+    "make_crashes",
+    "make_movement",
+]
 
 
 #: Scheduler factories by name; fresh instances per run (schedulers may
@@ -116,6 +129,64 @@ def run_scenario(scenario: Scenario, seed: int) -> SimulationResult:
     return sim.run()
 
 
-def run_batch(scenario: Scenario, seeds: Sequence[int]) -> List[SimulationResult]:
-    """Run a scenario over a seed range."""
-    return [run_scenario(scenario, seed) for seed in seeds]
+@contextmanager
+def executor(workers: Optional[int]) -> Iterator[Optional[ProcessPoolExecutor]]:
+    """Shared worker pool for a series of batches (``None`` = sequential).
+
+    Creating a process pool costs real time, so experiments that call
+    :func:`run_batch` per matrix cell open one pool here and thread it
+    through every call.  The initializer propagates the parent's kernel
+    backend choice so worker processes compute on the same backend even
+    when it was selected via :func:`repro.geometry.kernels.set_backend`
+    rather than the environment variable.
+    """
+    if not workers or workers <= 1:
+        yield None
+        return
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=kernels.set_backend,
+        initargs=(kernels.get_backend(),),
+    )
+    try:
+        yield pool
+    finally:
+        pool.shutdown()
+
+
+def parallel_map(
+    fn: Callable,
+    items: Sequence,
+    workers: Optional[int] = None,
+    pool: Optional[ProcessPoolExecutor] = None,
+) -> List:
+    """``[fn(x) for x in items]``, optionally across worker processes.
+
+    Results come back in input order regardless of completion order, so
+    parallel execution is a pure wall-clock optimization: every item is
+    computed by a deterministic function of its own arguments, and the
+    returned list is bit-identical to the sequential one.
+    """
+    items = list(items)
+    if pool is not None:
+        return list(pool.map(fn, items))
+    if workers and workers > 1 and len(items) > 1:
+        with executor(workers) as p:
+            return list(p.map(fn, items))
+    return [fn(x) for x in items]
+
+
+def run_batch(
+    scenario: Scenario,
+    seeds: Sequence[int],
+    workers: Optional[int] = None,
+    pool: Optional[ProcessPoolExecutor] = None,
+) -> List[SimulationResult]:
+    """Run a scenario over a seed range (optionally in parallel).
+
+    Each seed is an independent deterministic simulation, so sharding by
+    seed across processes preserves the exact sequential results.
+    """
+    return parallel_map(
+        partial(run_scenario, scenario), seeds, workers=workers, pool=pool
+    )

@@ -7,6 +7,7 @@ point machinery.  See DESIGN.md section 3 for the inventory and section 4
 for the tolerance model.
 """
 
+from . import kernels
 from .angles import (
     TWO_PI,
     angle_sum_is_full_turn,
@@ -44,6 +45,7 @@ from .weber import (
 )
 
 __all__ = [
+    "kernels",
     "TWO_PI",
     "angle_sum_is_full_turn",
     "clockwise_angle",

@@ -1,0 +1,433 @@
+"""Vectorized geometry kernels behind a runtime backend switch.
+
+The simulation rebuilds the full analysis tower every ATOM round — the
+tolerant cluster merge of :class:`~repro.core.configuration.Configuration`,
+the O(n^2) polar view table, the per-support-point ray structure behind
+safe-point detection, and the Weiszfeld iteration for numerical Weber
+points.  All of those are per-tick geometry loops over small dense float
+data: exactly the shape NumPy batch kernels excel at.
+
+This module provides NumPy implementations of those hot primitives behind
+a process-wide backend switch:
+
+* ``REPRO_BACKEND=python`` (the default) — every call site uses the
+  original pure-Python code.  That code is the **reference backend**: it
+  is the semantics, the NumPy kernels merely have to match it.
+* ``REPRO_BACKEND=numpy`` — call sites route their inner loops through
+  the kernels below.  NumPy remains an optional dependency: when the
+  import fails the switch silently falls back to ``python``.
+
+Equivalence contract
+--------------------
+Kernels replicate the reference computations operation for operation
+(same ``fmod`` normalization, same banker's-rounding quantization, same
+cluster-chaining rules), so results agree with the pure-Python backend
+within the :class:`~repro.geometry.tolerance.Tolerance` quantum and all
+*combinatorial* outputs — cluster merges, quantized views, ray loads,
+Weber certificates — are identical.  ``tests/property/test_prop_kernels.py``
+asserts this over random, biangular and linear workloads up to n = 256.
+
+Kernels accept plain Python data (lists of ``(x, y)`` tuples) and return
+plain Python data, so call sites never leak ``numpy`` scalars into the
+tolerance-quantized pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BACKENDS",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "backend",
+    "numpy_enabled",
+    "enabled_for",
+    "near_pairs",
+    "batch_polar_views",
+    "max_ray_loads",
+    "distance_sums",
+    "unit_vector_sum",
+    "weiszfeld",
+]
+
+try:  # NumPy is optional; the pure-Python backend needs nothing.
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+#: Recognized backend names.
+BACKENDS = ("python", "numpy")
+
+#: Below this problem size the NumPy call overhead outweighs the win and
+#: call sites stay on the pure-Python path even under the numpy backend.
+KERNEL_MIN_N = 8
+
+_TWO_PI = 2.0 * math.pi
+
+#: Dense pairwise-distance matrices are used up to this many points; the
+#: grid-bucketed path takes over beyond it.
+_DENSE_PAIRS_MAX = 1024
+
+
+def _resolve(name: str) -> str:
+    """Validate a backend name, silently degrading ``numpy`` -> ``python``
+    when the import failed (NumPy is optional by design)."""
+    name = name.strip().lower() or "python"
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown REPRO_BACKEND {name!r}; expected one of {BACKENDS}"
+        )
+    if name == "numpy" and _np is None:
+        return "python"
+    return name
+
+
+_backend: str = _resolve(os.environ.get("REPRO_BACKEND", "python"))
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backends usable in this process (``numpy`` only when importable)."""
+    return BACKENDS if _np is not None else ("python",)
+
+
+def get_backend() -> str:
+    """The currently active backend name."""
+    return _backend
+
+
+def set_backend(name: str) -> str:
+    """Switch the process-wide backend; returns the previous one.
+
+    Requesting ``numpy`` without NumPy installed silently keeps the
+    pure-Python backend (mirroring the ``REPRO_BACKEND`` env behaviour).
+    """
+    global _backend
+    previous = _backend
+    _backend = _resolve(name)
+    return previous
+
+
+@contextmanager
+def backend(name: str) -> Iterator[str]:
+    """Context manager pinning the backend for a block (tests, benches)."""
+    previous = set_backend(name)
+    try:
+        yield _backend
+    finally:
+        set_backend(previous)
+
+
+def numpy_enabled() -> bool:
+    """True when the numpy backend is active (and NumPy importable)."""
+    return _backend == "numpy"
+
+
+def enabled_for(n: int) -> bool:
+    """Should a call site with problem size ``n`` use the kernels?"""
+    return _backend == "numpy" and n >= KERNEL_MIN_N
+
+
+# -- array plumbing ----------------------------------------------------------
+
+
+def _as_xy(coords: Sequence[Tuple[float, float]]) -> "Tuple[_np.ndarray, _np.ndarray]":
+    arr = _np.asarray(coords, dtype=_np.float64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError("coords must be a sequence of (x, y) pairs")
+    return arr[:, 0], arr[:, 1]
+
+
+def _normalize_angles(theta: "_np.ndarray") -> "_np.ndarray":
+    """Vector twin of :func:`repro.geometry.angles.normalize_angle`."""
+    theta = _np.fmod(theta, _TWO_PI)
+    theta = _np.where(theta < 0.0, theta + _TWO_PI, theta)
+    # fmod of a value infinitesimally below 0 can round to 2*pi exactly.
+    return _np.where(theta >= _TWO_PI, theta - _TWO_PI, theta)
+
+
+# -- tolerant cluster merge --------------------------------------------------
+
+
+def near_pairs(
+    coords: Sequence[Tuple[float, float]], eps: float
+) -> List[Tuple[int, int]]:
+    """All index pairs ``(i, j)``, ``i < j``, with distance at most ``eps``.
+
+    This feeds the union-find cluster merge of ``Configuration``.  Small
+    multisets use one dense pairwise-distance matrix; larger ones are
+    grid-bucketed first: with cell size ``eps`` two points within ``eps``
+    are always in the same or an adjacent cell, so only points sharing a
+    crowded 3x3 neighbourhood need exact distance checks.
+    """
+    n = len(coords)
+    if n < 2:
+        return []
+    xs, ys = _as_xy(coords)
+
+    if n > _DENSE_PAIRS_MAX:
+        candidates = _grid_candidates(xs, ys, eps)
+        if len(candidates) < 2:
+            return []
+        sub = sorted(candidates)
+        idx = _np.asarray(sub, dtype=_np.intp)
+        xs, ys = xs[idx], ys[idx]
+    else:
+        sub = None
+
+    dx = xs[:, None] - xs[None, :]
+    dy = ys[:, None] - ys[None, :]
+    d = _np.hypot(dx, dy)
+    iu, ju = _np.triu_indices(len(xs), k=1)
+    mask = d[iu, ju] <= eps
+    ii = iu[mask].tolist()
+    jj = ju[mask].tolist()
+    if sub is not None:
+        ii = [sub[i] for i in ii]
+        jj = [sub[j] for j in jj]
+    return list(zip(ii, jj))
+
+
+def _grid_candidates(xs: "_np.ndarray", ys: "_np.ndarray", eps: float) -> List[int]:
+    """Indices of points whose 3x3 cell neighbourhood holds another point."""
+    cx = _np.floor(xs / eps).astype(_np.int64)
+    cy = _np.floor(ys / eps).astype(_np.int64)
+    buckets: dict = {}
+    for i, key in enumerate(zip(cx.tolist(), cy.tolist())):
+        buckets.setdefault(key, []).append(i)
+    out: List[int] = []
+    for (bx, by), members in buckets.items():
+        if len(members) > 1:
+            out.extend(members)
+            continue
+        for ox in (-1, 0, 1):
+            for oy in (-1, 0, 1):
+                if (ox or oy) and (bx + ox, by + oy) in buckets:
+                    out.extend(members)
+                    break
+            else:
+                continue
+            break
+    return out
+
+
+# -- batch polar views -------------------------------------------------------
+
+
+def batch_polar_views(
+    origins: Sequence[Tuple[float, float]],
+    points: Sequence[Tuple[float, float]],
+    center: Tuple[float, float],
+    eps_dist: float,
+    eps_angle: float,
+) -> List[Tuple[Tuple[float, float], ...]]:
+    """Canonical views of all ``origins`` at once (Definition 2).
+
+    For each origin the whole multiset ``points`` is serialized as sorted
+    quantized ``(r, theta)`` pairs with the reference direction towards
+    ``center`` — the vector twin of ``repro.core.views._polar_view``.
+    Every origin must be farther than ``eps_dist`` from ``center``
+    (callers filter central positions, exactly like the reference).
+    """
+    ox, oy = _as_xy(origins)
+    px, py = _as_xy(points)
+    cx, cy = center
+
+    dx = px[None, :] - ox[:, None]
+    dy = py[None, :] - oy[:, None]
+    d = _np.hypot(dx, dy)
+
+    vx = cx - ox
+    vy = cy - oy
+    unit = _np.hypot(vx, vy)
+
+    theta = _normalize_angles(_np.arctan2(dy, dx) - _np.arctan2(vy, vx)[:, None])
+    # Directions indistinguishable from the reference direction are
+    # exactly zero so quantization cannot wrap them to ~2*pi.
+    zero_dir = (theta <= eps_angle) | ((_TWO_PI - theta) <= eps_angle)
+    t_q = _np.where(zero_dir, 0.0, _np.round(theta / eps_angle) * eps_angle)
+    r_q = _np.round((d / unit[:, None]) / eps_dist) * eps_dist
+
+    co_located = d <= eps_dist
+    r_q = _np.where(co_located, 0.0, r_q)
+    t_q = _np.where(co_located, 0.0, t_q)
+
+    order = _np.lexsort((t_q, r_q), axis=-1)
+    r_q = _np.take_along_axis(r_q, order, axis=1)
+    t_q = _np.take_along_axis(t_q, order, axis=1)
+    return [
+        tuple(zip(r_row, t_row))
+        for r_row, t_row in zip(r_q.tolist(), t_q.tolist())
+    ]
+
+
+# -- batch ray loads (safe points) -------------------------------------------
+
+
+def max_ray_loads(
+    support: Sequence[Tuple[float, float]],
+    mults: Sequence[int],
+    eps_dist: float,
+    eps_angle: float,
+    max_angular_resolution: float,
+) -> List[int]:
+    """Largest robot count on any half-line from each support point.
+
+    For every support point taken as a center this replicates
+    ``repro.core.successor.ray_structure`` (distance-aware angular
+    tolerance, chained clustering of sorted direction angles, wrap-around
+    merge at the 0/2*pi seam) but only tracks per-ray robot counts — all
+    that Definition 8 needs.  Returns one load per support point; points
+    with every robot at the center load 0.
+    """
+    m = len(support)
+    sx, sy = _as_xy(support)
+    mult_arr = _np.asarray(mults, dtype=_np.int64)
+
+    # [center row, support column]: vector from each center to each point.
+    dx = sx[None, :] - sx[:, None]
+    dy = sy[None, :] - sy[:, None]
+    d = _np.hypot(dx, dy)
+    off = d > eps_dist  # points not merged into the center
+
+    # Distance-aware angular resolution per center (angular_resolution()).
+    d_off = _np.where(off, d, _np.inf)
+    d_min = d_off.min(axis=1)
+    has_off = _np.isfinite(d_min)
+    safe_d_min = _np.where(has_off, d_min, 1.0)
+    eps_row = _np.where(
+        has_off,
+        _np.minimum(max_angular_resolution, eps_angle + eps_dist / safe_d_min),
+        eps_angle,
+    )
+
+    phi = _np.where(off, _normalize_angles(_np.arctan2(dy, dx)), _np.inf)
+    order = _np.argsort(phi, axis=1, kind="stable")
+    phi_s = _np.take_along_axis(phi, order, axis=1)
+    mult_s = _np.where(
+        _np.take_along_axis(off, order, axis=1),
+        _np.take_along_axis(_np.broadcast_to(mult_arr, (m, m)), order, axis=1),
+        0,
+    )
+
+    # Chained clustering: a boundary wherever consecutive sorted angles
+    # are farther apart than the row's angular tolerance.  The +inf
+    # padding separates itself from real clusters (inf - finite = inf)
+    # and carries multiplicity 0, so it never affects any maximum.
+    with _np.errstate(invalid="ignore"):
+        boundary = (phi_s[:, 1:] - phi_s[:, :-1]) > eps_row[:, None]
+    cid = _np.zeros((m, m), dtype=_np.int64)
+    _np.cumsum(boundary, axis=1, out=cid[:, 1:])
+    sums = _np.zeros((m, m), dtype=_np.int64)
+    rows = _np.broadcast_to(_np.arange(m)[:, None], (m, m))
+    _np.add.at(sums, (rows, cid), mult_s)
+    loads = sums.max(axis=1)
+
+    # Wrap-around at the 0 / 2*pi seam: the first and last clusters are
+    # one ray when their angles meet across the seam.
+    k = off.sum(axis=1)
+    row_idx = _np.arange(m)
+    last_idx = _np.maximum(k - 1, 0)
+    last_cid = cid[row_idx, last_idx]
+    seam = (
+        (k > 0)
+        & (last_cid > 0)
+        & ((phi_s[:, 0] + _TWO_PI) - phi_s[row_idx, last_idx] <= eps_row)
+    )
+    merged = sums[row_idx, 0] + sums[row_idx, last_cid]
+    loads = _np.where(seam, _np.maximum(loads, merged), loads)
+    return _np.where(k > 0, loads, 0).tolist()
+
+
+# -- distance sums (election key / Weber objective screening) ----------------
+
+
+def distance_sums(
+    targets: Sequence[Tuple[float, float]],
+    points: Sequence[Tuple[float, float]],
+) -> List[float]:
+    """Sum of distances from each target to the whole multiset."""
+    tx, ty = _as_xy(targets)
+    px, py = _as_xy(points)
+    d = _np.hypot(px[None, :] - tx[:, None], py[None, :] - ty[:, None])
+    return d.sum(axis=1).tolist()
+
+
+# -- Weber point machinery ---------------------------------------------------
+
+
+def unit_vector_sum(
+    x: float,
+    y: float,
+    points: Sequence[Tuple[float, float]],
+    eps: float,
+) -> Tuple[float, float, int]:
+    """Summed unit vectors towards ``points`` plus the co-located count.
+
+    The subgradient data of the Weber objective at ``(x, y)`` — the batch
+    twin of :func:`repro.geometry.weber.unit_vector_sum`.
+    """
+    px, py = _as_xy(points)
+    dx = px - x
+    dy = py - y
+    d = _np.hypot(dx, dy)
+    mask = d > eps
+    dm = d[mask]
+    return (
+        float((dx[mask] / dm).sum()),
+        float((dy[mask] / dm).sum()),
+        int(len(d) - mask.sum()),
+    )
+
+
+def weiszfeld(
+    points: Sequence[Tuple[float, float]],
+    start: Tuple[float, float],
+    eps_solver: float,
+    max_iterations: int,
+) -> Tuple[float, float, int]:
+    """Vectorized Weiszfeld iteration with the Vardi-Zhang correction.
+
+    Mirrors ``repro.geometry.weber._weiszfeld_step`` driven by the same
+    convergence loop: stop when an iterate moves at most ``eps_solver``.
+    Returns the final iterate and the number of iterations taken.
+    """
+    px, py = _as_xy(points)
+    x, y = start
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        dx = px - x
+        dy = py - y
+        d = _np.hypot(dx, dy)
+        mask = d > eps_solver
+        dm = d[mask]
+        if dm.size == 0:
+            # Every point sits at the iterate: trivially optimal.
+            break
+        w = 1.0 / dm
+        wsum = float(w.sum())
+        tx = float((px[mask] * w).sum()) / wsum
+        ty = float((py[mask] * w).sum()) / wsum
+        at_x = int(len(d) - dm.size)
+        if at_x == 0:
+            nx, ny = tx, ty
+        else:
+            # Vardi-Zhang: pull the plain Weiszfeld target back towards
+            # the iterate by the co-located mass / residual-pull ratio.
+            rx = float((dx[mask] * w).sum())
+            ry = float((dy[mask] * w).sum())
+            r_norm = math.hypot(rx, ry)
+            if r_norm == 0.0:
+                break
+            beta = min(1.0, at_x / r_norm)
+            nx = x + (1.0 - beta) * (tx - x)
+            ny = y + (1.0 - beta) * (ty - y)
+        moved = math.hypot(nx - x, ny - y)
+        x, y = nx, ny
+        if moved <= eps_solver:
+            break
+    return x, y, iterations

@@ -29,6 +29,7 @@ from __future__ import annotations
 import math
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from . import kernels
 from .point import Point
 from .predicates import all_collinear, project_parameter
 from .tolerance import DEFAULT_TOLERANCE, Tolerance
@@ -58,10 +59,16 @@ def unit_vector_sum(
     within ``tol.eps_dist`` of ``x``.  This is the subgradient data of the
     Weber objective.
     """
+    pts = list(points)
+    if kernels.enabled_for(len(pts)):
+        sx, sy, co_located = kernels.unit_vector_sum(
+            x.x, x.y, [(p.x, p.y) for p in pts], tol.eps_dist
+        )
+        return Point(sx, sy), co_located
     sx = 0.0
     sy = 0.0
     co_located = 0
-    for p in points:
+    for p in pts:
         d = x.distance_to(p)
         if d <= tol.eps_dist:
             co_located += 1
@@ -188,6 +195,21 @@ def geometric_median(
     # Check input points first: if one of them is optimal, return it
     # exactly (bitwise) — important because the algorithm then sends
     # robots to an *occupied* location, creating exact multiplicities.
+    if kernels.enabled_for(len(pts)):
+        coords = [(p.x, p.y) for p in pts]
+        sums = kernels.distance_sums(coords, coords)
+        bi = min(range(len(pts)), key=sums.__getitem__)
+        best_input = pts[bi]
+        if is_weber_point(best_input, pts, tol):
+            return WeberResult(best_input, 0, True, sums[bi])
+        x0 = start if start is not None else _initial_guess(pts)
+        bx, by, iterations = kernels.weiszfeld(
+            coords, (x0.x, x0.y), tol.eps_solver, max_iterations
+        )
+        x = Point(bx, by)
+        certified = is_weber_point(x, pts, tol)
+        return WeberResult(x, iterations, certified, sum_of_distances(x, pts))
+
     best_input = min(pts, key=lambda p: sum_of_distances(p, pts))
     if is_weber_point(best_input, pts, tol):
         return WeberResult(

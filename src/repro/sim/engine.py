@@ -28,8 +28,9 @@ multiplicity detection of the core layer exact.
 
 from __future__ import annotations
 
+import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..algorithms.base import GatheringAlgorithm
@@ -188,9 +189,7 @@ class Simulation:
         # can tell) use a matching effective tolerance.  All engine-side
         # bookkeeping stays at the exact tolerance.
         if sensor_noise > 0.0:
-            from dataclasses import replace as _replace
-
-            self.effective_tol = _replace(
+            self.effective_tol = replace(
                 tol, eps_dist=max(tol.eps_dist, 2.1 * sensor_noise)
             )
         else:
@@ -208,6 +207,21 @@ class Simulation:
             if rid in self.mirrored:
                 frame = frame.mirrored()
             self.robots.append(Robot(robot_id=rid, position=pos, frame=frame))
+
+        # The effective tolerance is a *physical* (global-units)
+        # resolution; each robot's private frame rescales space, so its
+        # sensing resolution rescales with it.  Frames are fixed for the
+        # whole run, so the per-robot local tolerances are too.
+        if self.sensor_noise > 0.0:
+            self._local_tols: List[Tolerance] = [
+                replace(
+                    self.effective_tol,
+                    eps_dist=self.effective_tol.eps_dist * r.frame.scale,
+                )
+                for r in self.robots
+            ]
+        else:
+            self._local_tols = [self.effective_tol] * len(self.robots)
 
         self._last_moved: Set[int] = set()
         self._last_active: Dict[int, int] = {}
@@ -271,8 +285,6 @@ class Simulation:
 
     def _perturb(self, p: Point) -> Point:
         """One sensor reading: ``p`` plus isotropic error <= sensor_noise."""
-        import math
-
         angle = self.rng.uniform(0.0, 2.0 * math.pi)
         r = self.rng.uniform(0.0, self.sensor_noise)
         return Point(p.x + r * math.cos(angle), p.y + r * math.sin(angle))
@@ -344,19 +356,9 @@ class Simulation:
                     for p in observed
                 ]
             local_points = [frame.to_local(p) for p in observed]
-            # The effective tolerance is a *physical* (global-units)
-            # resolution; each robot's private frame rescales space, so
-            # its sensing resolution rescales with it.
-            if self.sensor_noise > 0.0:
-                from dataclasses import replace as _replace
-
-                local_tol = _replace(
-                    self.effective_tol,
-                    eps_dist=self.effective_tol.eps_dist * frame.scale,
-                )
-            else:
-                local_tol = self.effective_tol
-            local_config = Configuration(local_points, local_tol)
+            local_config = Configuration(
+                local_points, self._local_tols[robot.robot_id]
+            )
             local_me = frame.to_local(robot.position)
             if self.sensor_noise > 0.0:
                 # A *noisy observer* can transiently see a bivalent-

@@ -5,9 +5,11 @@ import pytest
 from repro.experiments import EXPERIMENTS
 from repro.experiments.runner import (
     Scenario,
+    executor,
     make_crashes,
     make_movement,
     make_scheduler,
+    parallel_map,
     run_batch,
     run_scenario,
 )
@@ -54,6 +56,59 @@ class TestScenario:
         results = run_batch(s, range(3))
         assert len(results) == 3
         assert all(r.gathered for r in results)
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelRunner:
+    def test_parallel_map_sequential_fallback(self):
+        assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert parallel_map(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_parallel_map_ordering(self):
+        assert parallel_map(_square, list(range(20)), workers=4) == [
+            x * x for x in range(20)
+        ]
+
+    def test_executor_none_for_sequential(self):
+        with executor(None) as pool:
+            assert pool is None
+        with executor(1) as pool:
+            assert pool is None
+
+    def test_run_batch_workers_bit_identical(self):
+        """Acceptance: workers=4 equals sequential over an E1-style sweep.
+
+        32 seeds of an E1 cell; the parallel shard must return exactly
+        the sequential verdicts, round counts and final positions, in
+        the same order.
+        """
+        scenario = Scenario(
+            workload="asymmetric",
+            n=6,
+            f=2,
+            scheduler="random",
+            crashes="random",
+            movement="random-stop",
+            max_rounds=5_000,
+        )
+        seeds = range(32)
+        sequential = run_batch(scenario, seeds)
+        parallel = run_batch(scenario, seeds, workers=4)
+        assert [r.verdict for r in sequential] == [r.verdict for r in parallel]
+        assert [r.rounds for r in sequential] == [r.rounds for r in parallel]
+        assert [r.final_positions for r in sequential] == [
+            r.final_positions for r in parallel
+        ]
+
+    def test_run_batch_shared_pool(self):
+        scenario = Scenario(workload="multiple", n=6, max_rounds=3000)
+        with executor(2) as pool:
+            first = run_batch(scenario, range(2), pool=pool)
+            second = run_batch(scenario, range(2), pool=pool)
+        assert [r.rounds for r in first] == [r.rounds for r in second]
 
 
 class TestRegistry:

@@ -1,0 +1,39 @@
+"""Smoke tests for the JSON benchmark harness (not a benchmark run)."""
+
+import json
+
+from repro.bench import SCHEMA, run_bench, write_bench
+from repro.geometry import kernels
+
+
+class TestBenchDocument:
+    def test_schema_and_sections(self, tmp_path):
+        document = run_bench(sizes=[8], repeats=1)
+        assert document["schema"] == SCHEMA
+        assert document["sizes"] == [8]
+        names = {entry["name"] for entry in document["micro"]}
+        assert names == {
+            "configuration",
+            "view_table",
+            "safe_points",
+            "geometric_median",
+        }
+        for entry in document["micro"]:
+            assert entry["best_s"] > 0.0
+            assert entry["backend"] in kernels.available_backends()
+        for entry in document["round_throughput"]:
+            assert entry["robots_per_s"] > 0.0
+
+        path = tmp_path / "bench.json"
+        write_bench(document, str(path))
+        assert json.loads(path.read_text())["schema"] == SCHEMA
+
+    def test_speedups_present_when_numpy_available(self):
+        document = run_bench(sizes=[16], repeats=1)
+        if "numpy" in kernels.available_backends():
+            assert len(document["speedups"]) == 1
+            entry = document["speedups"][0]
+            assert entry["n"] == 16
+            assert entry["speedup"] > 0.0
+        else:
+            assert document["speedups"] == []
