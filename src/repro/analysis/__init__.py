@@ -7,9 +7,12 @@ from .invariants import (
     InvariantMonitor,
     InvariantViolation,
     check_class_transition,
+    check_safe_point_preserved,
     check_wait_freedom,
+    elected_target,
     exact_weber_point,
     phi,
+    verify_trace,
 )
 from .statistics import mean, median, stddev, wilson_interval
 
@@ -23,9 +26,12 @@ __all__ = [
     "InvariantMonitor",
     "InvariantViolation",
     "check_class_transition",
+    "check_safe_point_preserved",
     "check_wait_freedom",
+    "elected_target",
     "exact_weber_point",
     "phi",
+    "verify_trace",
     "mean",
     "median",
     "stddev",

@@ -50,8 +50,10 @@ __all__ = [
     "ALLOWED_TRANSITIONS",
     "check_class_transition",
     "exact_weber_point",
+    "elected_target",
     "InvariantMonitor",
     "phi",
+    "verify_trace",
 ]
 
 
@@ -152,6 +154,59 @@ def phi(config: Configuration) -> Tuple[int, float]:
     return best
 
 
+# -- Lemma 5.6 C1: safe-point preservation -------------------------------------
+
+
+def elected_target(record: RoundRecord) -> Optional[Point]:
+    """The common point the round's movers were sent to, if any.
+
+    In class ``A`` the algorithm sends every active robot towards one
+    elected safe point; robots already there are told to stay.  The
+    recorded destinations recover that election without re-running the
+    algorithm: it is the unique destination assigned to a robot located
+    elsewhere.  Returns ``None`` when no robot was told to move or when
+    the movers disagree (not a class-``A`` round).
+    """
+    before = record.config_before
+    targets = {
+        dest
+        for rid, dest in record.destinations.items()
+        if not dest.close_to(
+            before.points[rid], before.tol
+        )
+    }
+    if len(targets) != 1:
+        return None
+    return next(iter(targets))
+
+
+def check_safe_point_preserved(record: RoundRecord) -> None:
+    """Lemma 5.6 claim C1: the elected safe point stays safe.
+
+    Applies to rounds that start in class ``A``: the elected target must
+    be a safe occupied position before the move, and — since the robots
+    standing on it are told to stay — must still be a safe occupied
+    position after the simultaneous moves complete or are truncated.
+    """
+    target = elected_target(record)
+    if target is None:
+        return
+    before, after = record.config_before, record.config_after
+    if before.locate(target) is None:
+        return  # not an occupied position: not an election round
+    if not is_safe_point(before, target):
+        raise InvariantViolation(
+            f"elected target {target!r} is not a safe point of the "
+            f"configuration it was elected in"
+        )
+    landed = after.locate(target)
+    if landed is not None and not is_safe_point(after, landed):
+        raise InvariantViolation(
+            f"Lemma 5.6 C1 violated: elected safe point {target!r} is "
+            f"no longer safe after the move"
+        )
+
+
 # -- the engine observer ------------------------------------------------------------
 
 
@@ -172,6 +227,7 @@ class InvariantMonitor:
     check_weber: bool = True
     check_multiplicity: bool = True
     check_phi: bool = True
+    check_safe: bool = True
     rounds_checked: int = field(default=0, init=False)
 
     def __call__(self, record: RoundRecord) -> None:
@@ -227,3 +283,27 @@ class InvariantMonitor:
                     raise InvariantViolation(
                         f"phi regressed in A: {phi_b} -> {phi_a}"
                     )
+
+        if self.check_safe and cls_before is ConfigClass.ASYMMETRIC:
+            check_safe_point_preserved(record)
+
+
+def verify_trace(
+    trace, monitor: Optional[InvariantMonitor] = None
+) -> InvariantMonitor:
+    """Run the invariant suite over an archived trace, offline.
+
+    No re-simulation happens: every record already carries the before
+    and after configurations (rebuilt with the recorded tolerance by
+    ``Trace.from_json``), so the proof obligations are checked exactly
+    as the engine observer would have checked them live.  Raises
+    :class:`InvariantViolation` on the first failing round; returns the
+    monitor (``rounds_checked`` tells how much evidence was examined).
+
+    The obligations are those of ``WAIT-FREE-GATHER`` — running this
+    over a baseline algorithm's trace is expected to report violations.
+    """
+    monitor = monitor if monitor is not None else InvariantMonitor()
+    for record in trace:
+        monitor(record)
+    return monitor

@@ -19,11 +19,20 @@ Three subcommands:
 ``bench``
     Run the micro + round-throughput benchmarks over every available
     kernel backend and write ``BENCH_micro.json``.
+
+``check``
+    The reproducibility gate: re-simulate archived traces and verify
+    bit-identical replay (``--replay``, ``--corpus``), run the invariant
+    suite over archives offline (``--invariants``), and diff the two
+    kernel backends on a scenario in subprocesses (``--diff``).
 """
 
 from __future__ import annotations
 
 import argparse
+import glob
+import json
+import os
 import sys
 import time
 from typing import List, Optional
@@ -43,6 +52,7 @@ from .experiments.runner import (
     make_crashes,
     make_movement,
     make_scheduler,
+    run_scenario,
 )
 from .sim import Simulation
 from .workloads import CLASS_GENERATORS, generate
@@ -93,6 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--workers", type=int, default=None, metavar="N",
                      help="shard seed sweeps over N processes "
                           "(results identical to sequential)")
+    exp.add_argument("--archive-failures", metavar="DIR", default=None,
+                     help="archive a replayable trace JSON into DIR for "
+                          "every failing (not gathered, not provably "
+                          "impossible) seed of the sweep")
 
     bench = sub.add_parser(
         "bench",
@@ -117,6 +131,53 @@ def build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("--seed", type=int, default=0)
     hunt.add_argument("--rounds", type=int, default=40)
 
+    check = sub.add_parser(
+        "check",
+        help="replay archived traces, verify invariants, diff backends",
+        description=(
+            "Reproducibility gate.  Modes (combine freely): --replay / "
+            "--corpus re-simulate archived v2 traces and require "
+            "bit-identical executions; --invariants runs the proof-"
+            "obligation checkers over archives offline; --diff runs one "
+            "scenario under both kernel backends in subprocesses and "
+            "reports the first divergent round with a minimized "
+            "reproduction command.  Exits non-zero on any mismatch."
+        ),
+    )
+    check.add_argument("--replay", metavar="TRACE", nargs="+", default=[],
+                       help="trace JSON files to re-simulate and compare "
+                            "bit for bit")
+    check.add_argument("--invariants", metavar="TRACE", nargs="+", default=[],
+                       help="trace JSON files to run the invariant suite "
+                            "over (offline, no re-simulation)")
+    check.add_argument("--corpus", metavar="DIR", default=None,
+                       help="replay + verify every *.json trace in DIR")
+    check.add_argument("--backend", default="recorded",
+                       choices=["recorded", "python", "numpy", "both"],
+                       help="backend(s) to replay on (default: the one "
+                            "the trace was recorded with)")
+    check.add_argument("--diff", action="store_true",
+                       help="differential backend check for the scenario "
+                            "given by the flags below")
+    check.add_argument("--workload", default="random", choices=sorted(CLASS_GENERATORS))
+    check.add_argument("--n", type=int, default=8)
+    check.add_argument("--algorithm", default="wait-free-gather", choices=sorted(ALGORITHMS))
+    check.add_argument("--scheduler", default="random",
+                       choices=["fsync", "round-robin", "random", "laggard", "half-split"])
+    check.add_argument("--crashes", default="random",
+                       choices=["none", "random", "after-move", "elected"])
+    check.add_argument("--f", type=int, default=0)
+    check.add_argument("--movement", default="random-stop",
+                       choices=["rigid", "adversarial-stop", "random-stop", "collusive-stop"])
+    check.add_argument("--seeds", type=int, nargs="+", default=[0],
+                       metavar="SEED", help="seeds for --diff")
+    check.add_argument("--max-rounds", type=int, default=20_000)
+    check.add_argument("--emit-trace", metavar="SCENARIO_JSON", default=None,
+                       help=argparse.SUPPRESS)  # internal recorder mode
+    check.add_argument("--seed", type=int, default=0, help=argparse.SUPPRESS)
+    check.add_argument("--out", metavar="PATH", default=None,
+                       help=argparse.SUPPRESS)
+
     render = sub.add_parser(
         "render", help="render a simulation run (or a snapshot) as SVG"
     )
@@ -136,18 +197,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    points = generate(args.workload, args.n, args.seed)
-    sim = Simulation(
-        ALGORITHMS[args.algorithm](),
-        points,
-        scheduler=make_scheduler(args.scheduler),
-        crash_adversary=make_crashes(args.crashes, args.f),
-        movement=make_movement(args.movement),
-        seed=args.seed,
+    # Route through the scenario machinery so a saved trace carries the
+    # full meta block and `repro check --replay` accepts it.  The raw
+    # user seed is passed as the engine seed (historical behaviour);
+    # the meta block records both, so replay is still exact.
+    scenario = Scenario(
+        workload=args.workload,
+        n=args.n,
+        algorithm=args.algorithm,
+        scheduler=args.scheduler,
+        crashes=args.crashes,
+        f=args.f,
+        movement=args.movement,
         max_rounds=args.max_rounds,
+    )
+    result = run_scenario(
+        scenario,
+        args.seed,
+        engine_seed=args.seed,
         record_trace=args.trace or bool(args.save_trace),
     )
-    result = sim.run()
     print(f"workload   : {args.workload} (n={args.n}, seed={args.seed})")
     print(f"algorithm  : {args.algorithm}")
     print(f"initial    : {result.initial_class}")
@@ -186,6 +255,11 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.archive_failures:
+        # run_batch reads the environment variable, which also reaches
+        # worker processes and any experiment code that calls it without
+        # threading the CLI flag through.
+        os.environ["REPRO_ARCHIVE_DIR"] = args.archive_failures
     ids = sorted(EXPERIMENTS) if args.id == "all" else [args.id]
     for experiment_id in ids:
         _, description = EXPERIMENTS[experiment_id]
@@ -248,6 +322,107 @@ def _cmd_hunt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_backends(choice: str, recorded: str) -> List[str]:
+    if choice == "recorded":
+        return [recorded]
+    if choice == "both":
+        return ["python", "numpy"]
+    return [choice]
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .analysis import InvariantViolation, verify_trace
+    from .sim.replay import (
+        differential_check,
+        load_trace,
+        replay_trace,
+        save_trace,
+    )
+
+    # Internal recorder mode: called in a subprocess by the differential
+    # checker so each backend is resolved from a clean import.
+    if args.emit_trace:
+        if not args.out:
+            print("error: --emit-trace requires --out", file=sys.stderr)
+            return 2
+        with open(args.emit_trace, "r", encoding="utf-8") as handle:
+            scenario = Scenario.from_dict(json.load(handle))
+        result = run_scenario(scenario, args.seed, record_trace=True)
+        save_trace(result.trace, args.out)
+        print(f"recorded {len(result.trace)} rounds -> {args.out}")
+        return 0
+
+    replay_paths = list(args.replay)
+    if args.corpus:
+        corpus = sorted(
+            path
+            for path in glob.glob(os.path.join(args.corpus, "*.json"))
+            if not path.endswith(".scenario.json")
+        )
+        if not corpus:
+            print(f"error: no traces in corpus {args.corpus!r}", file=sys.stderr)
+            return 2
+        replay_paths.extend(corpus)
+
+    invariant_paths = list(args.invariants)
+    if args.corpus:
+        # Corpus traces get the full treatment: replay AND invariants.
+        invariant_paths.extend(p for p in replay_paths if p not in invariant_paths)
+
+    if not (replay_paths or invariant_paths or args.diff):
+        print(
+            "error: nothing to do — pass --replay, --invariants, "
+            "--corpus and/or --diff",
+            file=sys.stderr,
+        )
+        return 2
+
+    failures = 0
+
+    for path in replay_paths:
+        trace = load_trace(path)
+        recorded = trace.meta.backend if trace.meta else "python"
+        for backend in _check_backends(args.backend, recorded):
+            report = replay_trace(trace, backend=backend, path=path)
+            print(f"{path}: {report.describe()}")
+            failures += 0 if report.ok else 1
+
+    for path in invariant_paths:
+        trace = load_trace(path)
+        try:
+            monitor = verify_trace(trace)
+        except InvariantViolation as exc:
+            print(f"{path}: invariant VIOLATION: {exc}")
+            failures += 1
+        else:
+            print(
+                f"{path}: invariants ok "
+                f"({monitor.rounds_checked} rounds checked)"
+            )
+
+    if args.diff:
+        scenario = Scenario(
+            workload=args.workload,
+            n=args.n,
+            algorithm=args.algorithm,
+            scheduler=args.scheduler,
+            crashes=args.crashes,
+            f=args.f,
+            movement=args.movement,
+            max_rounds=args.max_rounds,
+        )
+        for seed in args.seeds:
+            report = differential_check(scenario, seed)
+            print(report.describe())
+            failures += 0 if report.ok else 1
+
+    if failures:
+        print(f"check FAILED: {failures} problem(s)", file=sys.stderr)
+        return 1
+    print("check ok")
+    return 0
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     from .core import Configuration
     from .viz import render_configuration, render_trace
@@ -290,6 +465,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "hunt":
             return _cmd_hunt(args)
+        if args.command == "check":
+            return _cmd_check(args)
         if args.command == "render":
             return _cmd_render(args)
     except BrokenPipeError:

@@ -8,9 +8,11 @@ its table.  Everything is deterministic in the seed.
 
 from __future__ import annotations
 
+import os
+import re
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from functools import partial
 from typing import Callable, Dict, Iterator, List, Optional, Sequence
 
@@ -34,10 +36,12 @@ from ..sim import (
     Simulation,
     SimulationResult,
 )
+from ..sim.trace import TraceMeta
 from ..workloads import generate
 
 __all__ = [
     "Scenario",
+    "build_simulation",
     "run_scenario",
     "run_batch",
     "parallel_map",
@@ -110,23 +114,104 @@ class Scenario:
             f"{self.crashes}/{self.movement}"
         )
 
+    def to_dict(self) -> dict:
+        """Canonical JSON-ready form — the trace schema's scenario block."""
+        return asdict(self)
 
-def run_scenario(scenario: Scenario, seed: int) -> SimulationResult:
-    """Execute one scenario with one seed (fully deterministic)."""
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        """Inverse of :meth:`to_dict`; rejects unknown keys loudly so a
+        trace written by a newer schema never half-loads."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown Scenario fields: {sorted(unknown)}")
+        return cls(**data)
+
+    def engine_seed(self, seed: int) -> int:
+        """The engine seed derived from a sweep seed (Knuth multiplicative
+        hash, decorrelating neighbouring sweep seeds)."""
+        return seed * 2654435761 % (2**31)
+
+
+def build_simulation(
+    scenario: Scenario,
+    seed: int,
+    *,
+    engine_seed: Optional[int] = None,
+    record_trace: bool = False,
+) -> Simulation:
+    """The one construction path from a scenario to an engine instance.
+
+    ``repro check --replay`` rebuilds archived runs through this exact
+    function, so anything that influences the execution must flow from
+    the :class:`Scenario` (plus the two seeds) — never from ambient
+    state.  ``engine_seed`` defaults to :meth:`Scenario.engine_seed`;
+    the CLI ``simulate`` command passes the raw user seed instead.
+    """
     points = generate(scenario.workload, scenario.n, seed)
     algorithm: GatheringAlgorithm = ALGORITHMS[scenario.algorithm]()
-    sim = Simulation(
+    return Simulation(
         algorithm,
         points,
         scheduler=make_scheduler(scenario.scheduler),
         crash_adversary=make_crashes(scenario.crashes, scenario.f),
         movement=make_movement(scenario.movement),
-        seed=seed * 2654435761 % (2**31),
+        seed=scenario.engine_seed(seed) if engine_seed is None else engine_seed,
         frames=scenario.frames,
         max_rounds=scenario.max_rounds,
         halt_on_bivalent=scenario.halt_on_bivalent,
+        record_trace=record_trace,
     )
-    return sim.run()
+
+
+def run_scenario(
+    scenario: Scenario,
+    seed: int,
+    *,
+    engine_seed: Optional[int] = None,
+    record_trace: bool = False,
+) -> SimulationResult:
+    """Execute one scenario with one seed (fully deterministic).
+
+    With ``record_trace`` the result's trace carries a full
+    :class:`~repro.sim.trace.TraceMeta` block, which is what makes the
+    archive self-describing: ``repro check`` can re-simulate it from the
+    JSON alone.
+    """
+    sim = build_simulation(
+        scenario, seed, engine_seed=engine_seed, record_trace=record_trace
+    )
+    result = sim.run()
+    if result.trace is not None:
+        result.trace.meta = TraceMeta.for_run(
+            scenario=scenario.to_dict(),
+            seed=seed,
+            engine_seed=sim.seed,
+            tol=sim.tol,
+        )
+    return result
+
+
+def _pin_backend(name: str) -> None:
+    """Worker-side backend pin: process state *and* environment.
+
+    Exporting ``REPRO_BACKEND`` matters beyond documentation — any
+    grandchild process a worker spawns (the differential checker, a
+    nested pool on a spawn-start platform) resolves its backend from the
+    environment at import time, so a worker that only called
+    :func:`set_backend` would hand its children the wrong default.
+    """
+    os.environ["REPRO_BACKEND"] = name
+    kernels.set_backend(name)
+
+
+def _call_pinned(fn: Callable, backend_name: str, item):
+    """Run ``fn(item)`` with the kernel backend pinned to the *caller's*
+    choice at submission time (module-level so it pickles)."""
+    if kernels.get_backend() != backend_name:
+        _pin_backend(backend_name)
+    return fn(item)
 
 
 @contextmanager
@@ -135,17 +220,20 @@ def executor(workers: Optional[int]) -> Iterator[Optional[ProcessPoolExecutor]]:
 
     Creating a process pool costs real time, so experiments that call
     :func:`run_batch` per matrix cell open one pool here and thread it
-    through every call.  The initializer propagates the parent's kernel
-    backend choice so worker processes compute on the same backend even
+    through every call.  The initializer pins the parent's kernel
+    backend choice (state + ``REPRO_BACKEND``) so worker processes
+    compute on the same backend even on spawn-start platforms and even
     when it was selected via :func:`repro.geometry.kernels.set_backend`
-    rather than the environment variable.
+    rather than the environment variable.  :func:`parallel_map`
+    additionally re-pins per call, so a backend switch between batches
+    (as in the differential checker) reaches workers created earlier.
     """
     if not workers or workers <= 1:
         yield None
         return
     pool = ProcessPoolExecutor(
         max_workers=workers,
-        initializer=kernels.set_backend,
+        initializer=_pin_backend,
         initargs=(kernels.get_backend(),),
     )
     try:
@@ -165,15 +253,24 @@ def parallel_map(
     Results come back in input order regardless of completion order, so
     parallel execution is a pure wall-clock optimization: every item is
     computed by a deterministic function of its own arguments, and the
-    returned list is bit-identical to the sequential one.
+    returned list is bit-identical to the sequential one.  The backend
+    active in the calling process at call time is pinned around every
+    worker-side invocation, so long-lived pools never compute on a
+    backend the caller has since switched away from.
     """
     items = list(items)
+    call = partial(_call_pinned, fn, kernels.get_backend())
     if pool is not None:
-        return list(pool.map(fn, items))
+        return list(pool.map(call, items))
     if workers and workers > 1 and len(items) > 1:
         with executor(workers) as p:
-            return list(p.map(fn, items))
+            return list(p.map(call, items))
     return [fn(x) for x in items]
+
+
+def _archive_slug(label: str) -> str:
+    """Filesystem-safe corpus file stem for a scenario label."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", label).strip("_")
 
 
 def run_batch(
@@ -181,12 +278,39 @@ def run_batch(
     seeds: Sequence[int],
     workers: Optional[int] = None,
     pool: Optional[ProcessPoolExecutor] = None,
+    archive_dir: Optional[str] = None,
+    archive_if: Optional[Callable[[SimulationResult], bool]] = None,
 ) -> List[SimulationResult]:
     """Run a scenario over a seed range (optionally in parallel).
 
     Each seed is an independent deterministic simulation, so sharding by
     seed across processes preserves the exact sequential results.
+
+    ``archive_dir`` (or the ``REPRO_ARCHIVE_DIR`` environment variable)
+    turns on failure archiving: every seed whose result satisfies
+    ``archive_if`` (default: did not gather and was not a detected
+    impossibility) is re-simulated with trace recording — bit-identical
+    to the sweep run, by determinism — and written to the directory as a
+    self-describing trace JSON that ``repro check --replay`` accepts.
+    The archived corpus is what CI replays on both backends.
     """
-    return parallel_map(
+    results = parallel_map(
         partial(run_scenario, scenario), seeds, workers=workers, pool=pool
     )
+    archive_dir = archive_dir or os.environ.get("REPRO_ARCHIVE_DIR")
+    if archive_dir:
+        should_archive = archive_if or (
+            lambda r: not r.gathered and r.verdict != "impossible"
+        )
+        for seed, result in zip(seeds, results):
+            if not should_archive(result):
+                continue
+            replayed = run_scenario(scenario, seed, record_trace=True)
+            os.makedirs(archive_dir, exist_ok=True)
+            path = os.path.join(
+                archive_dir,
+                f"{_archive_slug(scenario.label())}-seed{seed}.json",
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(replayed.trace.to_json(indent=2))
+    return results

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import math
 import os
+import warnings
 from contextlib import contextmanager
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -55,9 +56,12 @@ __all__ = [
     "weiszfeld",
 ]
 
-try:  # NumPy is optional; the pure-Python backend needs nothing.
+# NumPy is optional; the pure-Python backend needs nothing.  Only a
+# *missing* NumPy is tolerated — a present-but-broken install raising
+# e.g. SystemError must surface, not masquerade as "not installed".
+try:
     import numpy as _np
-except Exception:  # pragma: no cover - exercised only without numpy
+except ImportError:  # pragma: no cover - exercised only without numpy
     _np = None
 
 #: Recognized backend names.
@@ -74,15 +78,35 @@ _TWO_PI = 2.0 * math.pi
 _DENSE_PAIRS_MAX = 1024
 
 
+#: Set once the numpy->python degradation has been reported, so a sweep
+#: that resolves the backend thousands of times warns exactly once.
+_fallback_warned = False
+
+
 def _resolve(name: str) -> str:
-    """Validate a backend name, silently degrading ``numpy`` -> ``python``
-    when the import failed (NumPy is optional by design)."""
+    """Validate a backend name, degrading ``numpy`` -> ``python`` when
+    the import failed (NumPy is optional by design).
+
+    The degradation is announced with a one-time :class:`RuntimeWarning`:
+    silently computing a whole sweep on the wrong backend is exactly the
+    kind of divergence ``repro check --diff`` exists to catch, so the
+    fallback must at least be visible.
+    """
+    global _fallback_warned
     name = name.strip().lower() or "python"
     if name not in BACKENDS:
         raise ValueError(
             f"unknown REPRO_BACKEND {name!r}; expected one of {BACKENDS}"
         )
     if name == "numpy" and _np is None:
+        if not _fallback_warned:
+            _fallback_warned = True
+            warnings.warn(
+                "REPRO_BACKEND=numpy requested but NumPy is not "
+                "importable; falling back to the pure-Python backend",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         return "python"
     return name
 

@@ -36,7 +36,17 @@ from .scheduler import (
     RoundRobin,
     Scheduler,
 )
-from .trace import RoundRecord, Trace
+from .trace import RoundRecord, Trace, TraceMeta
+from .replay import (
+    DiffReport,
+    Divergence,
+    ReplayReport,
+    compare_traces,
+    differential_check,
+    load_trace,
+    replay_trace,
+    save_trace,
+)
 
 __all__ = [
     "AsyncSimulation",
@@ -74,4 +84,13 @@ __all__ = [
     "Scheduler",
     "RoundRecord",
     "Trace",
+    "TraceMeta",
+    "DiffReport",
+    "Divergence",
+    "ReplayReport",
+    "compare_traces",
+    "differential_check",
+    "load_trace",
+    "replay_trace",
+    "save_trace",
 ]

@@ -48,7 +48,7 @@ from ..core import (
     classify,
 )
 from ..geometry import DEFAULT_TOLERANCE, Frame, Point, Tolerance, random_frame
-from .engine import SimulationResult, Verdict
+from .engine import SimulationResult, Verdict, component_rng
 from .faults import CrashAdversary, NoCrashes
 from .gathering import gathered_point
 from .movement import MovementModel, RigidMovement
@@ -95,7 +95,12 @@ class AsyncSimulation:
         if frames not in ("identity", "random"):
             raise ValueError("frames must be 'identity' or 'random'")
         self.algorithm = algorithm
+        self.seed = seed
         self.rng = random.Random(seed)
+        # Same decoupled substreams as the ATOM engine (component_rng).
+        self._crash_rng = component_rng(seed, "crash")
+        self._sched_rng = component_rng(seed, "sched")
+        self._move_rng = component_rng(seed, "move")
         self.tol = tol
         self.snap_tolerance = snap_tolerance
         self.max_ticks = max_ticks
@@ -149,7 +154,7 @@ class AsyncSimulation:
             self.live_ids(),
             self.positions(),
             set(self._last_moved),
-            self.rng,
+            self._crash_rng,
         )
         for robot in self.robots:
             if robot.robot_id in crash_now:
@@ -157,7 +162,7 @@ class AsyncSimulation:
                 self.pending.pop(robot.robot_id, None)
 
         active = self.scheduler.select(
-            self.tick, self.live_ids(), self.rng, self._last_active,
+            self.tick, self.live_ids(), self._sched_rng, self._last_active,
             positions=self.positions(),
         )
 
@@ -184,7 +189,7 @@ class AsyncSimulation:
                 if entry.looked_at_tick < self.tick - 1:
                     self.stale_moves += 1
                 end = self.movement.endpoint(
-                    robot.position, entry.destination, self.rng
+                    robot.position, entry.destination, self._move_rng
                 )
                 if end.distance_to(entry.destination) <= self.tol.eps_dist:
                     end = entry.destination

@@ -47,9 +47,30 @@ from .gathering import gathered_point
 from .movement import MovementModel, RigidMovement
 from .robot import Robot
 from .scheduler import FairnessWrapper, FullySynchronous, Scheduler
-from .trace import RoundRecord, Trace
+from .trace import RoundRecord, Trace, TraceMeta
 
-__all__ = ["Simulation", "SimulationResult", "Verdict"]
+__all__ = ["Simulation", "SimulationResult", "Verdict", "component_rng"]
+
+
+def component_rng(seed: int, component: str) -> random.Random:
+    """Deterministic per-component RNG substream for a simulation seed.
+
+    Every stochastic model component (crash adversary, scheduler,
+    movement, byzantine policies) gets its *own* generator derived from
+    the simulation seed.  Sharing one stream couples the components: a
+    movement model that draws once per long move shifts every later
+    crash and scheduling draw, so two runs differing by a sub-quantum
+    geometric detail desynchronize completely after the first extra
+    draw.  Independent substreams keep e.g. the crash schedule a
+    function of the crash adversary alone, which is what makes
+    differential backend diffs (``repro check --diff``) localize to the
+    round that actually diverged.
+
+    String seeding is used because :class:`random.Random` hashes str
+    seeds with SHA-512 — stable across processes, platforms and
+    ``PYTHONHASHSEED``.
+    """
+    return random.Random(f"repro:{seed}:{component}")
 
 
 class Verdict:
@@ -140,7 +161,17 @@ class Simulation:
         if frames not in ("identity", "random"):
             raise ValueError("frames must be 'identity' or 'random'")
         self.algorithm = algorithm
+        self.seed = seed
         self.rng = random.Random(seed)
+        # Decoupled substreams — see :func:`component_rng`.  ``self.rng``
+        # keeps seeding the per-robot frames (drawn once, below) and the
+        # sensor-noise perturbations; the model components each draw
+        # from their own stream so none of them can desynchronize the
+        # others.
+        self._crash_rng = component_rng(seed, "crash")
+        self._sched_rng = component_rng(seed, "sched")
+        self._move_rng = component_rng(seed, "move")
+        self._byz_rng = component_rng(seed, "byz")
         self.tol = tol
         self.snap_tolerance = snap_tolerance
         self.max_rounds = max_rounds
@@ -194,7 +225,19 @@ class Simulation:
             )
         else:
             self.effective_tol = tol
-        self.trace: Optional[Trace] = Trace() if record_trace else None
+        # Even engine-level traces (no scenario attached) get a partial
+        # meta block so the recording tolerance, backend and seed always
+        # survive serialization; the scenario runner overwrites it with
+        # a complete, replayable block.
+        self.trace: Optional[Trace] = (
+            Trace(
+                meta=TraceMeta.for_run(
+                    scenario=None, seed=None, engine_seed=seed, tol=tol
+                )
+            )
+            if record_trace
+            else None
+        )
         self.observers: List[Observer] = []
 
         self.robots: List[Robot] = []
@@ -315,7 +358,7 @@ class Simulation:
             self.live_ids(),
             self.positions(),
             set(self._last_moved),
-            self.rng,
+            self._crash_rng,
         )
         for robot in self.robots:
             if robot.robot_id in crash_now:
@@ -325,7 +368,7 @@ class Simulation:
         active = self.scheduler.select(
             self.round_index,
             self.live_ids(),
-            self.rng,
+            self._sched_rng,
             self._last_active,
             positions=self.positions(),
         )
@@ -343,7 +386,7 @@ class Simulation:
                     self.positions(),
                     self.correct_ids(),
                     self.round_index,
-                    self.rng,
+                    self._byz_rng,
                 )
                 continue
             frame = robot.anchored_frame()
@@ -395,7 +438,7 @@ class Simulation:
                     robot.robot_id, robot.position, dest
                 )
             else:
-                end = self.movement.endpoint(robot.position, dest, self.rng)
+                end = self.movement.endpoint(robot.position, dest, self._move_rng)
             if end.distance_to(dest) <= self.tol.eps_dist:
                 end = dest
             if end != robot.position:

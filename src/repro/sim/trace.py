@@ -6,6 +6,19 @@ experiment harness (which aggregates metrics), humans debugging a run
 (``Trace.render`` prints a compact transcript), and offline tooling
 (``Trace.to_json`` / ``Trace.from_json`` round-trip the full record so a
 run can be archived, diffed, or re-analysed without re-simulating).
+
+Schema versions
+---------------
+``repro-trace-v2`` (written) adds a ``meta`` block embedding everything
+needed to *re-simulate* the run — the canonical scenario dict, the sweep
+seed and engine seed, the kernel backend, the package version, and the
+:class:`~repro.geometry.tolerance.Tolerance` the run quantized space
+with.  The tolerance matters for fidelity, not just provenance: the
+per-round configurations are rebuilt on load, and rebuilding with the
+wrong tolerance silently changes how near-coincident points merge into
+support points.  ``repro-trace-v1`` archives (no meta) are still read;
+their configurations are rebuilt with the default tolerance, which is
+what v1 writers recorded under.
 """
 
 from __future__ import annotations
@@ -15,9 +28,91 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core import ConfigClass, Configuration
-from ..geometry import Point
+from ..geometry import DEFAULT_TOLERANCE, Point, Tolerance, kernels
 
-__all__ = ["RoundRecord", "Trace"]
+__all__ = ["RoundRecord", "Trace", "TraceMeta", "SCHEMA_V1", "SCHEMA_V2"]
+
+#: Legacy schema identifier: records only, default tolerance, no meta.
+SCHEMA_V1 = "repro-trace-v1"
+
+#: Current schema identifier: ``meta`` block + records.
+SCHEMA_V2 = "repro-trace-v2"
+
+
+def _package_version() -> str:
+    from .. import __version__  # deferred: repro/__init__ imports us
+
+    return __version__
+
+
+@dataclass(frozen=True)
+class TraceMeta:
+    """Provenance block of a v2 trace — enough to re-simulate the run.
+
+    ``scenario`` is the canonical dict of an experiment
+    :class:`~repro.experiments.runner.Scenario` (or ``None`` for traces
+    recorded outside the scenario machinery); ``seed`` is the sweep seed
+    the workload was generated from, ``engine_seed`` the seed actually
+    handed to the engine (the CLI ``simulate`` command passes the raw
+    user seed rather than the sweep-derived one, so both are recorded).
+    """
+
+    scenario: Optional[dict]
+    seed: Optional[int]
+    engine_seed: Optional[int]
+    backend: str
+    package_version: str
+    tolerance: Optional[Tuple[float, float, float]]
+
+    @classmethod
+    def for_run(
+        cls,
+        *,
+        scenario: Optional[dict],
+        seed: Optional[int],
+        engine_seed: Optional[int],
+        tol: Tolerance,
+    ) -> "TraceMeta":
+        """Meta for a run recorded in this process, right now."""
+        return cls(
+            scenario=dict(scenario) if scenario is not None else None,
+            seed=seed,
+            engine_seed=engine_seed,
+            backend=kernels.get_backend(),
+            package_version=_package_version(),
+            tolerance=(tol.eps_dist, tol.eps_angle, tol.eps_solver),
+        )
+
+    def tol(self) -> Tolerance:
+        """The recorded tolerance (default when the block predates it)."""
+        if self.tolerance is None:
+            return DEFAULT_TOLERANCE
+        eps_dist, eps_angle, eps_solver = self.tolerance
+        return Tolerance(
+            eps_dist=eps_dist, eps_angle=eps_angle, eps_solver=eps_solver
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "engine_seed": self.engine_seed,
+            "backend": self.backend,
+            "package_version": self.package_version,
+            "tolerance": list(self.tolerance) if self.tolerance else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceMeta":
+        tolerance = data.get("tolerance")
+        return cls(
+            scenario=data.get("scenario"),
+            seed=data.get("seed"),
+            engine_seed=data.get("engine_seed"),
+            backend=data.get("backend", "python"),
+            package_version=data.get("package_version", "unknown"),
+            tolerance=tuple(tolerance) if tolerance else None,
+        )
 
 
 @dataclass(frozen=True)
@@ -58,12 +153,22 @@ class RoundRecord:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "RoundRecord":
-        """Inverse of :meth:`to_dict`."""
+    def from_dict(
+        cls, data: dict, tol: Tolerance = DEFAULT_TOLERANCE
+    ) -> "RoundRecord":
+        """Inverse of :meth:`to_dict`.
+
+        ``tol`` must be the tolerance the run was recorded under (a v2
+        trace carries it in its meta block): the configurations are
+        rebuilt here, and the tolerance decides how near-coincident
+        coordinates merge into support points.  JSON object keys are
+        always strings, so ``destinations`` keys are restored to the
+        robot-id integers they were serialized from.
+        """
         return cls(
             round_index=data["round"],
             config_before=Configuration(
-                [Point(x, y) for x, y in data["before"]]
+                [Point(x, y) for x, y in data["before"]], tol
             ),
             config_class=ConfigClass(data["class"]),
             active=tuple(data["active"]),
@@ -73,7 +178,7 @@ class RoundRecord:
                 for rid, (x, y) in data["destinations"].items()
             },
             config_after=Configuration(
-                [Point(x, y) for x, y in data["after"]]
+                [Point(x, y) for x, y in data["after"]], tol
             ),
             moved=tuple(data["moved"]),
         )
@@ -89,6 +194,12 @@ class Trace:
     """
 
     records: List[RoundRecord] = field(default_factory=list)
+
+    #: Provenance of the run (schema v2); ``None`` for legacy archives
+    #: and hand-built traces.  The engine stamps a partial block (seeds,
+    #: backend, tolerance) at construction; the scenario runner replaces
+    #: it with a full one including the scenario dict.
+    meta: Optional[TraceMeta] = None
 
     def append(self, record: RoundRecord) -> None:
         self.records.append(record)
@@ -115,25 +226,44 @@ class Trace:
             rows.append(f"... ({len(self.records) - limit} more rounds)")
         return "\n".join(rows)
 
+    def tol(self) -> Tolerance:
+        """Tolerance the trace was recorded under (default if unknown)."""
+        return self.meta.tol() if self.meta is not None else DEFAULT_TOLERANCE
+
     def to_json(self, indent: Optional[int] = None) -> str:
-        """Serialize the whole trace (exact coordinates) to JSON."""
+        """Serialize the whole trace (exact coordinates) to JSON.
+
+        Python floats serialize via ``repr`` which round-trips ``float64``
+        exactly, so coordinates survive the archive bit for bit.
+        """
         return json.dumps(
-            {"format": "repro-trace-v1",
-             "records": [r.to_dict() for r in self.records]},
+            {
+                "format": SCHEMA_V2,
+                "meta": self.meta.to_dict() if self.meta else None,
+                "records": [r.to_dict() for r in self.records],
+            },
             indent=indent,
         )
 
     @classmethod
     def from_json(cls, text: str) -> "Trace":
-        """Inverse of :meth:`to_json`.
+        """Inverse of :meth:`to_json`; also reads v1 archives.
 
         Raises :class:`ValueError` on an unrecognized payload so stale
         archives fail loudly rather than half-load.
         """
         data = json.loads(text)
-        if not isinstance(data, dict) or data.get("format") != "repro-trace-v1":
-            raise ValueError("not a repro-trace-v1 payload")
-        trace = cls()
+        if not isinstance(data, dict) or data.get("format") not in (
+            SCHEMA_V1,
+            SCHEMA_V2,
+        ):
+            raise ValueError(
+                f"not a {SCHEMA_V1}/{SCHEMA_V2} payload"
+            )
+        meta_data = data.get("meta")
+        meta = TraceMeta.from_dict(meta_data) if meta_data else None
+        tol = meta.tol() if meta is not None else DEFAULT_TOLERANCE
+        trace = cls(meta=meta)
         for record in data["records"]:
-            trace.append(RoundRecord.from_dict(record))
+            trace.append(RoundRecord.from_dict(record, tol))
         return trace

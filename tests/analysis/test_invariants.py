@@ -9,8 +9,10 @@ from repro.analysis import (
     InvariantViolation,
     check_class_transition,
     check_wait_freedom,
+    elected_target,
     exact_weber_point,
     phi,
+    verify_trace,
 )
 from repro.core import ConfigClass, Configuration
 from repro.geometry import Point
@@ -119,3 +121,76 @@ class TestMonitorEndToEnd:
         monitor = InvariantMonitor(check_waitfree=False)
         with pytest.raises(InvariantViolation):
             monitor(record)
+
+
+class TestOfflineVerification:
+    def _trace(self, algorithm="wait-free-gather", seed=3):
+        from repro.experiments.runner import Scenario, run_scenario
+
+        scenario = Scenario(
+            workload="asymmetric",
+            n=7,
+            algorithm=algorithm,
+            scheduler="random",
+            crashes="random",
+            f=2,
+            movement="adversarial-stop",
+            max_rounds=2_000,
+        )
+        return run_scenario(scenario, seed, record_trace=True).trace
+
+    def test_verify_trace_clean_on_wait_free_gather(self):
+        trace = self._trace()
+        monitor = verify_trace(trace)
+        assert monitor.rounds_checked == len(trace)
+
+    def test_verify_trace_catches_baseline_violations(self):
+        # Baselines break the proof obligations under crashes; the
+        # offline pass must notice exactly like the live observer does.
+        with pytest.raises(InvariantViolation):
+            verify_trace(self._trace(algorithm="centroid", seed=1))
+
+    def test_verify_trace_matches_live_monitor(self):
+        trace = self._trace()
+        offline = verify_trace(trace)
+        live = InvariantMonitor()
+        for record in trace:
+            live(record)
+        assert live.rounds_checked == offline.rounds_checked
+
+    def test_elected_target_recovered_from_destinations(self):
+        from repro.core import is_safe_point
+
+        trace = self._trace()
+        engaged = 0
+        for record in trace:
+            if record.config_class is not ConfigClass.ASYMMETRIC:
+                continue
+            target = elected_target(record)
+            if target is None:
+                continue
+            engaged += 1
+            # WAIT-FREE-GATHER elects a *safe occupied* point in A.
+            assert record.config_before.locate(target) is not None
+            assert is_safe_point(record.config_before, target)
+        assert engaged > 0, "safe-point obligation never engaged"
+
+    def test_elected_target_none_when_movers_disagree(self):
+        from repro.sim.trace import RoundRecord
+
+        before = Configuration([O, Point(4.0, 0.0), Point(0.0, 5.0)])
+        record = RoundRecord(
+            round_index=0,
+            config_before=before,
+            config_class=ConfigClass.ASYMMETRIC,
+            active=(0, 1, 2),
+            crashed_now=(),
+            destinations={
+                0: Point(1.0, 0.0),
+                1: Point(2.0, 0.0),
+                2: Point(0.0, 5.0),
+            },
+            config_after=before,
+            moved=(),
+        )
+        assert elected_target(record) is None

@@ -1,0 +1,101 @@
+"""Property: trace serialization is an exact round trip.
+
+Python serializes floats via ``repr``, which round-trips ``float64``
+bit for bit — so a trace archived to JSON must restore to *equal*
+records, including pathological coordinates (subnormals, huge
+magnitudes, long decimal tails) that truncating serializers corrupt.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.core import ConfigClass, Configuration
+from repro.geometry import Point
+from repro.sim import RoundRecord, Trace, TraceMeta
+
+finite = st.floats(
+    allow_nan=False,
+    allow_infinity=False,
+    min_value=-1e12,
+    max_value=1e12,
+)
+
+points = st.builds(Point, finite, finite)
+
+
+@st.composite
+def round_records(draw, index=0):
+    n = draw(st.integers(min_value=1, max_value=6))
+    before = draw(st.lists(points, min_size=n, max_size=n))
+    after = draw(st.lists(points, min_size=n, max_size=n))
+    active = draw(st.lists(st.integers(0, n - 1), unique=True, max_size=n))
+    dests = {rid: draw(points) for rid in active}
+    return RoundRecord(
+        round_index=index,
+        config_before=Configuration(before),
+        config_class=draw(st.sampled_from(list(ConfigClass))),
+        active=tuple(sorted(active)),
+        crashed_now=tuple(
+            sorted(draw(st.lists(st.integers(0, n - 1), unique=True, max_size=2)))
+        ),
+        destinations=dests,
+        config_after=Configuration(after),
+        moved=tuple(sorted(active)),
+    )
+
+
+@given(st.data())
+def test_trace_json_round_trip_is_exact(data):
+    n_records = data.draw(st.integers(min_value=0, max_value=4))
+    trace = Trace(
+        meta=TraceMeta(
+            scenario=None,
+            seed=data.draw(st.integers(0, 2**31)),
+            engine_seed=data.draw(st.integers(0, 2**31)),
+            backend="python",
+            package_version="test",
+            tolerance=(1e-9, 1e-9, 1e-13),
+        )
+    )
+    for i in range(n_records):
+        trace.append(data.draw(round_records(index=i)))
+
+    restored = Trace.from_json(trace.to_json())
+
+    assert restored.meta == trace.meta
+    assert len(restored) == len(trace)
+    for exp, act in zip(trace, restored):
+        assert exp.round_index == act.round_index
+        assert exp.config_class is act.config_class
+        assert exp.active == act.active
+        assert exp.crashed_now == act.crashed_now
+        assert exp.moved == act.moved
+        # Exact coordinate identity, not tolerant closeness.
+        assert [p.as_tuple() for p in exp.config_before.points] == [
+            p.as_tuple() for p in act.config_before.points
+        ]
+        assert [p.as_tuple() for p in exp.config_after.points] == [
+            p.as_tuple() for p in act.config_after.points
+        ]
+        assert {r: d.as_tuple() for r, d in exp.destinations.items()} == {
+            r: d.as_tuple() for r, d in act.destinations.items()
+        }
+
+
+@given(st.integers(0, 2**31 - 1))
+def test_destination_keys_restore_as_ints(seed):
+    record = RoundRecord(
+        round_index=0,
+        config_before=Configuration([Point(0.0, 0.0), Point(1.0, 0.0)]),
+        config_class=ConfigClass.ASYMMETRIC,
+        active=(0, 1),
+        crashed_now=(),
+        destinations={0: Point(0.5, 0.0), 1: Point(0.5, 0.0)},
+        config_after=Configuration([Point(0.5, 0.0), Point(0.5, 0.0)]),
+        moved=(0, 1),
+    )
+    trace = Trace(records=[record])
+    restored = Trace.from_json(trace.to_json())
+    assert set(restored.records[0].destinations) == {0, 1}
+    assert all(
+        isinstance(k, int) for k in restored.records[0].destinations
+    )

@@ -142,3 +142,103 @@ class TestSaveTrace:
         with open(target) as handle:
             trace = Trace.from_json(handle.read())
         assert len(trace) > 0
+
+    def test_saved_trace_carries_full_meta(self, tmp_path):
+        from repro.sim import Trace
+
+        target = str(tmp_path / "trace.json")
+        main(
+            ["simulate", "--workload", "asymmetric", "--n", "6",
+             "--f", "1", "--seed", "1", "--save-trace", target]
+        )
+        with open(target) as handle:
+            trace = Trace.from_json(handle.read())
+        assert trace.meta is not None
+        assert trace.meta.scenario["workload"] == "asymmetric"
+        assert trace.meta.seed == 1
+        assert trace.meta.engine_seed == 1  # simulate passes the raw seed
+
+
+class TestCheck:
+    def _save(self, tmp_path, name="t.json", seed="1"):
+        target = str(tmp_path / name)
+        main(
+            ["simulate", "--workload", "asymmetric", "--n", "6",
+             "--f", "1", "--seed", seed, "--save-trace", target]
+        )
+        return target
+
+    def test_replay_ok_exit_zero(self, capsys, tmp_path):
+        target = self._save(tmp_path)
+        code = main(["check", "--replay", target])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bit-identical" in out
+        assert "check ok" in out
+
+    def test_replay_both_backends(self, capsys, tmp_path):
+        target = self._save(tmp_path)
+        code = main(["check", "--replay", target, "--backend", "both"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend 'python'" in out
+        assert "backend 'numpy'" in out
+
+    def test_tampered_trace_exit_one(self, capsys, tmp_path):
+        import json
+
+        target = self._save(tmp_path)
+        with open(target) as handle:
+            data = json.load(handle)
+        record = data["records"][0]
+        rid = next(iter(record["destinations"]))
+        record["destinations"][rid][0] += 1.0
+        with open(target, "w") as handle:
+            json.dump(data, handle)
+        code = main(["check", "--replay", target])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED" in out
+        assert "reproduce:" in out
+
+    def test_invariants_mode(self, capsys, tmp_path):
+        target = self._save(tmp_path)
+        code = main(["check", "--invariants", target])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "invariants ok" in out
+
+    def test_corpus_mode(self, capsys, tmp_path):
+        self._save(tmp_path, "a.json", seed="1")
+        self._save(tmp_path, "b.json", seed="2")
+        code = main(["check", "--corpus", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("replay ok") == 2
+        assert out.count("invariants ok") == 2
+
+    def test_empty_corpus_is_usage_error(self, capsys, tmp_path):
+        assert main(["check", "--corpus", str(tmp_path)]) == 2
+
+    def test_no_mode_is_usage_error(self, capsys):
+        assert main(["check"]) == 2
+
+    def test_emit_trace_internal_mode(self, capsys, tmp_path):
+        import json
+
+        from repro.experiments.runner import Scenario
+        from repro.sim.replay import load_trace
+
+        scenario_path = str(tmp_path / "scenario.json")
+        out_path = str(tmp_path / "out.json")
+        scenario = Scenario(workload="asymmetric", n=6, f=1)
+        with open(scenario_path, "w") as handle:
+            json.dump(scenario.to_dict(), handle)
+        code = main(
+            ["check", "--emit-trace", scenario_path, "--seed", "4",
+             "--out", out_path]
+        )
+        assert code == 0
+        trace = load_trace(out_path)
+        assert trace.meta.seed == 4
+        assert Scenario.from_dict(trace.meta.scenario) == scenario

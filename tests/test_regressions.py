@@ -224,6 +224,222 @@ class TestMultipleCenterCoincidentViewPoints:
         assert set(table) == set(config.support)
 
 
+def _observe_worker_backend(_item):
+    """Module-level so the process pool can pickle it."""
+    import os
+
+    from repro.geometry import kernels
+
+    return (kernels.get_backend(), os.environ.get("REPRO_BACKEND"))
+
+
+class TestTraceToleranceRoundTrip:
+    """Trace JSON did not record the run's Tolerance, so archived
+    configurations were rebuilt with DEFAULT_TOLERANCE on load.  For a
+    run recorded under a coarser tolerance (sensor-noise experiments
+    snap with large eps) the offline invariant checkers then quantized
+    space differently from the live run — ``locate``, ``close_to`` and
+    the angular bands all read ``config.tol`` — so verification of the
+    archive could disagree with verification of the execution it
+    archived.  Schema v2 carries the tolerance in its meta block and
+    ``from_json`` rebuilds every configuration with it."""
+
+    def test_recorded_tolerance_reaches_rebuilt_configs(self):
+        import json
+        from dataclasses import replace
+
+        from repro.core import ConfigClass, Configuration
+        from repro.geometry import DEFAULT_TOLERANCE
+        from repro.sim import RoundRecord, Trace, TraceMeta
+
+        tol = replace(DEFAULT_TOLERANCE, eps_dist=0.5)
+        pts = [Point(0.0, 0.0), Point(2.0, 0.0), Point(4.0, 0.0)]
+        config = Configuration(pts, tol)
+        record = RoundRecord(
+            round_index=0,
+            config_before=config,
+            config_class=ConfigClass.ASYMMETRIC,
+            active=(0, 1, 2),
+            crashed_now=(),
+            destinations={},
+            config_after=config,
+            moved=(),
+        )
+        meta = TraceMeta.for_run(
+            scenario=None, seed=0, engine_seed=0, tol=tol
+        )
+        trace = Trace(records=[record], meta=meta)
+
+        restored = Trace.from_json(trace.to_json())
+        assert restored.tol() == tol
+        rebuilt = restored.records[0].config_before
+        assert rebuilt.tol == tol
+        # Observable difference: a probe 0.3 away locates inside the
+        # recorded quantum but not inside the default one.
+        assert rebuilt.locate(Point(0.3, 0.0)) is not None
+
+        # Pre-fix behaviour: strip the tolerance from the meta block and
+        # the same archive quantizes space differently on load.
+        data = json.loads(trace.to_json())
+        data["meta"]["tolerance"] = None
+        degraded = Trace.from_json(json.dumps(data))
+        degraded_config = degraded.records[0].config_before
+        assert degraded_config.tol == DEFAULT_TOLERANCE
+        assert degraded_config.locate(Point(0.3, 0.0)) is None
+
+
+class TestWorkerBackendPinning:
+    """The process-pool initializer pinned the backend active at *pool
+    creation*; a backend switch between batches (the differential
+    checker does exactly that) left long-lived workers computing on the
+    stale backend, and the choice was never exported to REPRO_BACKEND so
+    grandchild processes resolved the wrong default too.  parallel_map
+    now re-pins state + environment around every worker-side call."""
+
+    def test_stale_pool_workers_follow_backend_switch(self):
+        pytest.importorskip("numpy")
+        from repro.experiments.runner import executor, parallel_map
+        from repro.geometry import kernels
+
+        original = kernels.get_backend()
+        try:
+            kernels.set_backend("python")
+            with executor(2) as pool:
+                first = parallel_map(
+                    _observe_worker_backend, [0, 1], pool=pool
+                )
+                assert all(b == "python" for b, _ in first)
+                kernels.set_backend("numpy")  # pool already exists
+                second = parallel_map(
+                    _observe_worker_backend, [0, 1], pool=pool
+                )
+                assert all(b == "numpy" for b, _ in second)
+                # Exported for grandchildren, not just process state.
+                assert all(env == "numpy" for _, env in second)
+        finally:
+            kernels.set_backend(original)
+
+
+class TestNumpyFallbackIsLoudAndNarrow:
+    """The numpy import guard caught every Exception, so a *broken*
+    NumPy install (SystemError, bad ABI) masqueraded as 'not installed'
+    and the sweep silently computed on the pure-Python backend.  The
+    guard now catches only ImportError, and the numpy->python
+    degradation warns once instead of never."""
+
+    def test_missing_numpy_warns_once_and_degrades(self, monkeypatch):
+        import warnings
+
+        from repro.geometry import kernels
+
+        original = kernels.get_backend()
+        monkeypatch.setattr(kernels, "_np", None)
+        monkeypatch.setattr(kernels, "_fallback_warned", False)
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                kernels.set_backend("numpy")
+                assert kernels.get_backend() == "python"
+                kernels.set_backend("numpy")  # second request: no repeat
+            runtime = [
+                w for w in caught if issubclass(w.category, RuntimeWarning)
+            ]
+            assert len(runtime) == 1
+            assert "falling back" in str(runtime[0].message)
+        finally:
+            monkeypatch.undo()
+            kernels.set_backend(original)
+
+    def test_import_guard_is_importerror_only(self):
+        import ast
+        import inspect
+
+        from repro.geometry import kernels
+
+        tree = ast.parse(inspect.getsource(kernels))
+        guards = [
+            handler
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Try)
+            for handler in node.handlers
+        ]
+        numpy_guards = [
+            h
+            for h in guards
+            if isinstance(h.type, ast.Name) and h.type.id == "ImportError"
+        ]
+        assert numpy_guards, "numpy import must be guarded by ImportError"
+        assert not any(
+            isinstance(h.type, ast.Name) and h.type.id == "Exception"
+            for h in guards
+        ), "a bare `except Exception` import guard hides broken installs"
+
+
+class TestComponentRngDecoupling:
+    """All stochastic components (crash adversary, scheduler, movement,
+    sensor noise) drew from ONE shared engine RNG, so the crash schedule
+    changed whenever the movement model consumed a different number of
+    draws — comparing 'same faults, different movement' compared
+    different fault patterns.  Each component now gets its own
+    deterministic substream derived from the engine seed."""
+
+    @staticmethod
+    def _crash_events(movement, seed=11):
+        from repro.sim import RigidMovement  # noqa: F401 (doc import)
+
+        sim = Simulation(
+            WaitFreeGather(),
+            generate("random", 7, 4),
+            scheduler=RandomSubset(0.5),
+            crash_adversary=RandomCrashes(f=3, rate=0.25),
+            movement=movement,
+            seed=seed,
+            max_rounds=500,
+            record_trace=True,
+        )
+        result = sim.run()
+        events = [
+            (r.round_index, r.crashed_now)
+            for r in result.trace
+            if r.crashed_now
+        ]
+        return events, result.rounds
+
+    def test_crash_schedule_independent_of_movement_model(self):
+        from repro.sim import RigidMovement
+
+        events_rigid, rounds_rigid = self._crash_events(RigidMovement())
+        events_stop, rounds_stop = self._crash_events(RandomStop(0.05))
+        # The runs end at different rounds (movement affects progress),
+        # but over the rounds both executions lived through, the crash
+        # adversary must have made identical decisions.
+        horizon = min(rounds_rigid, rounds_stop)
+        prefix_rigid = [e for e in events_rigid if e[0] < horizon]
+        prefix_stop = [e for e in events_stop if e[0] < horizon]
+        assert prefix_rigid == prefix_stop
+
+    def test_component_streams_are_deterministic_and_distinct(self):
+        import random
+
+        from repro.sim.engine import component_rng
+
+        a = component_rng(5, "crash")
+        b = component_rng(5, "crash")
+        assert [a.random() for _ in range(4)] == [
+            b.random() for _ in range(4)
+        ]
+        crash = component_rng(5, "crash").random()
+        sched = component_rng(5, "sched").random()
+        move = component_rng(5, "move").random()
+        assert len({crash, sched, move}) == 3
+        # Stable construction, not hash()-of-the-moment: string seeding
+        # goes through SHA-512, immune to PYTHONHASHSEED.
+        assert (
+            component_rng(5, "crash").random()
+            == random.Random("repro:5:crash").random()
+        )
+
+
 class TestNoisyObserverBivalentRefusal:
     """A sensor-noise observer can transiently see a bivalent-looking
     blob; the engine originally treated the algorithm's refusal as
