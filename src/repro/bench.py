@@ -25,12 +25,23 @@ Timing methodology: wall-clock ``time.perf_counter`` around the call,
 noise; the mean is also recorded).  Inputs are rebuilt fresh for every
 repetition because configurations memoize their derived structure — a
 second call on the same object would time a dict lookup.
+
+History (``repro-bench/2``)
+---------------------------
+The file on disk is a *history*, not a single run: ``latest`` holds the
+most recent per-run document (the regression-guard view) and ``runs`` an
+append-only array of ``{git_sha, recorded_at, document}`` entries, one
+per ``repro bench`` invocation — the perf trajectory across commits.
+:func:`write_bench` converts a legacy single-document file into the
+first history entry instead of discarding it.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
+import subprocess
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence
@@ -43,9 +54,18 @@ from .sim import Simulation
 from .sim.scheduler import FullySynchronous
 from .workloads import generate
 
-__all__ = ["run_bench", "write_bench", "DEFAULT_SIZES", "QUICK_SIZES"]
+__all__ = [
+    "run_bench",
+    "write_bench",
+    "load_history",
+    "DEFAULT_SIZES",
+    "QUICK_SIZES",
+]
 
+#: Schema of one benchmark run's document.
 SCHEMA = "repro-bench/1"
+#: Schema of the on-disk file: a history of run documents.
+HISTORY_SCHEMA = "repro-bench/2"
 DEFAULT_SIZES = [16, 64, 256]
 QUICK_SIZES = [16, 64]
 
@@ -173,8 +193,70 @@ def run_bench(
     }
 
 
+def _git_sha() -> Optional[str]:
+    """HEAD commit of the working directory's repo, or ``None``."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else None
+
+
+def load_history(path: str) -> Dict:
+    """Read a bench file into history form, whatever schema is on disk.
+
+    A legacy ``repro-bench/1`` single-run file becomes a one-entry
+    history (its ``generated_at`` as the timestamp, no git SHA — the
+    commit it ran at was never recorded).  Anything else raises
+    :class:`ValueError` so a stale or foreign file fails loudly rather
+    than being silently clobbered by the next bench run.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    schema = data.get("schema") if isinstance(data, dict) else None
+    if schema == HISTORY_SCHEMA:
+        return data
+    if schema == SCHEMA:
+        return {
+            "schema": HISTORY_SCHEMA,
+            "latest": data,
+            "runs": [
+                {
+                    "git_sha": None,
+                    "recorded_at": data.get("generated_at"),
+                    "document": data,
+                }
+            ],
+        }
+    raise ValueError(f"{path!r} is not a {SCHEMA}/{HISTORY_SCHEMA} file")
+
+
 def write_bench(document: Dict, path: str) -> None:
-    """Write the benchmark document as stable, diff-friendly JSON."""
+    """Append ``document`` to the bench history at ``path``.
+
+    ``latest`` always mirrors the newest run so regression guards read
+    one key; the ``runs`` array keeps every prior run (keyed by git SHA
+    and timestamp), which is what makes the performance trajectory
+    across commits recoverable from the file alone.
+    """
+    if os.path.exists(path):
+        history = load_history(path)
+    else:
+        history = {"schema": HISTORY_SCHEMA, "latest": None, "runs": []}
+    history["runs"].append(
+        {
+            "git_sha": _git_sha(),
+            "recorded_at": document.get("generated_at"),
+            "document": document,
+        }
+    )
+    history["latest"] = document
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2, sort_keys=False)
+        json.dump(history, handle, indent=2, sort_keys=False)
         handle.write("\n")

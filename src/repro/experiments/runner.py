@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import os
 import re
+import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field, fields, replace
 from functools import partial
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
+from .. import obs as _obs
 from ..algorithms import ALGORITHMS, GatheringAlgorithm
 from ..geometry import kernels
 from ..sim import (
@@ -36,6 +38,7 @@ from ..sim import (
     Simulation,
     SimulationResult,
 )
+from ..sim.async_engine import AsyncSimulation
 from ..sim.trace import TraceMeta
 from ..workloads import generate
 
@@ -107,10 +110,16 @@ class Scenario:
     max_rounds: int = 20_000
     frames: str = "random"
     halt_on_bivalent: bool = True
+    #: Execution model: ``"atom"`` (the paper's semi-synchronous rounds)
+    #: or ``"async"`` (the CORDA tick engine; ``max_rounds`` then bounds
+    #: ticks).  Part of the scenario — and therefore of the trace
+    #: schema — so archived ASYNC runs replay on the right engine.
+    engine: str = "atom"
 
     def label(self) -> str:
+        prefix = "" if self.engine == "atom" else f"{self.engine}/"
         return (
-            f"{self.workload}/n={self.n}/f={self.f}/{self.scheduler}/"
+            f"{prefix}{self.workload}/n={self.n}/f={self.f}/{self.scheduler}/"
             f"{self.crashes}/{self.movement}"
         )
 
@@ -140,7 +149,7 @@ def build_simulation(
     *,
     engine_seed: Optional[int] = None,
     record_trace: bool = False,
-) -> Simulation:
+) -> Union[Simulation, AsyncSimulation]:
     """The one construction path from a scenario to an engine instance.
 
     ``repro check --replay`` rebuilds archived runs through this exact
@@ -148,16 +157,36 @@ def build_simulation(
     the :class:`Scenario` (plus the two seeds) — never from ambient
     state.  ``engine_seed`` defaults to :meth:`Scenario.engine_seed`;
     the CLI ``simulate`` command passes the raw user seed instead.
+    ``scenario.engine`` selects the execution model; for ``"async"``
+    the scenario's ``max_rounds`` bounds scheduler ticks.
     """
     points = generate(scenario.workload, scenario.n, seed)
     algorithm: GatheringAlgorithm = ALGORITHMS[scenario.algorithm]()
+    resolved_seed = (
+        scenario.engine_seed(seed) if engine_seed is None else engine_seed
+    )
+    if scenario.engine == "async":
+        return AsyncSimulation(
+            algorithm,
+            points,
+            scheduler=make_scheduler(scenario.scheduler),
+            crash_adversary=make_crashes(scenario.crashes, scenario.f),
+            movement=make_movement(scenario.movement),
+            seed=resolved_seed,
+            frames=scenario.frames,
+            max_ticks=scenario.max_rounds,
+            halt_on_bivalent=scenario.halt_on_bivalent,
+            record_trace=record_trace,
+        )
+    if scenario.engine != "atom":
+        raise ValueError(f"unknown engine {scenario.engine!r}")
     return Simulation(
         algorithm,
         points,
         scheduler=make_scheduler(scenario.scheduler),
         crash_adversary=make_crashes(scenario.crashes, scenario.f),
         movement=make_movement(scenario.movement),
-        seed=scenario.engine_seed(seed) if engine_seed is None else engine_seed,
+        seed=resolved_seed,
         frames=scenario.frames,
         max_rounds=scenario.max_rounds,
         halt_on_bivalent=scenario.halt_on_bivalent,
@@ -182,13 +211,23 @@ def run_scenario(
     sim = build_simulation(
         scenario, seed, engine_seed=engine_seed, record_trace=record_trace
     )
+    started = time.perf_counter() if _obs.state.enabled else 0.0
     result = sim.run()
+    if _obs.state.enabled:
+        # Per-worker throughput: keyed by pid so a pooled sweep shows one
+        # row per worker process when snapshots are merged by the CLI.
+        elapsed = time.perf_counter() - started
+        _obs.metrics.inc("runner.runs")
+        _obs.metrics.inc("runner.rounds", result.rounds)
+        _obs.metrics.observe("runner.run_seconds", elapsed)
+        _obs.metrics.observe(f"runner.worker.{os.getpid()}.run_seconds", elapsed)
     if result.trace is not None:
         result.trace.meta = TraceMeta.for_run(
             scenario=scenario.to_dict(),
             seed=seed,
             engine_seed=sim.seed,
             tol=sim.tol,
+            engine=scenario.engine,
         )
     return result
 

@@ -34,11 +34,15 @@ tolerance-quantized pipeline.
 
 from __future__ import annotations
 
+import functools
 import math
 import os
+import time
 import warnings
 from contextlib import contextmanager
 from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .. import obs as _obs
 
 __all__ = [
     "BACKENDS",
@@ -54,6 +58,7 @@ __all__ = [
     "distance_sums",
     "unit_vector_sum",
     "weiszfeld",
+    "pairwise_diameter",
 ]
 
 # NumPy is optional; the pure-Python backend needs nothing.  Only a
@@ -156,6 +161,30 @@ def enabled_for(n: int) -> bool:
     return _backend == "numpy" and n >= KERNEL_MIN_N
 
 
+def _timed(fn):
+    """Per-kernel observability: call count + wall time + backend label.
+
+    With observability disabled (the default) the wrapper is one
+    attribute read and a tail call — no timer, no allocation.  Enabled,
+    each call is timed with ``perf_counter`` and recorded under the
+    kernel's name and the active backend, feeding ``repro profile`` and
+    any registered ``on_kernel`` hooks.
+    """
+    name = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        if not _obs.state.enabled:
+            return fn(*args, **kwargs)
+        start = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            _obs.record_kernel(name, time.perf_counter() - start, _backend)
+
+    return wrapper
+
+
 # -- array plumbing ----------------------------------------------------------
 
 
@@ -177,6 +206,7 @@ def _normalize_angles(theta: "_np.ndarray") -> "_np.ndarray":
 # -- tolerant cluster merge --------------------------------------------------
 
 
+@_timed
 def near_pairs(
     coords: Sequence[Tuple[float, float]], eps: float
 ) -> List[Tuple[int, int]]:
@@ -242,6 +272,7 @@ def _grid_candidates(xs: "_np.ndarray", ys: "_np.ndarray", eps: float) -> List[i
 # -- batch polar views -------------------------------------------------------
 
 
+@_timed
 def batch_polar_views(
     origins: Sequence[Tuple[float, float]],
     points: Sequence[Tuple[float, float]],
@@ -292,6 +323,7 @@ def batch_polar_views(
 # -- batch ray loads (safe points) -------------------------------------------
 
 
+@_timed
 def max_ray_loads(
     support: Sequence[Tuple[float, float]],
     mults: Sequence[int],
@@ -367,9 +399,40 @@ def max_ray_loads(
     return _np.where(k > 0, loads, 0).tolist()
 
 
+# -- pairwise diameter (spread / convergence measure) ------------------------
+
+
+@_timed
+def pairwise_diameter(coords: Sequence[Tuple[float, float]]) -> float:
+    """Largest pairwise distance of the point set (its diameter).
+
+    Backs :func:`repro.sim.metrics.spread`, the per-round convergence
+    measure the observability layer logs — the reason it must not cost
+    an O(n^2) pure-Python loop per round.  Small sets use one dense
+    distance matrix; larger ones compute the same matrix in row blocks
+    so memory stays bounded while the arithmetic remains vectorized.
+    """
+    n = len(coords)
+    if n < 2:
+        return 0.0
+    xs, ys = _as_xy(coords)
+    if n <= _DENSE_PAIRS_MAX:
+        dx = xs[:, None] - xs[None, :]
+        dy = ys[:, None] - ys[None, :]
+        return float(_np.hypot(dx, dy).max())
+    best = 0.0
+    block = 512
+    for start in range(0, n, block):
+        dx = xs[start : start + block, None] - xs[None, :]
+        dy = ys[start : start + block, None] - ys[None, :]
+        best = max(best, float(_np.hypot(dx, dy).max()))
+    return best
+
+
 # -- distance sums (election key / Weber objective screening) ----------------
 
 
+@_timed
 def distance_sums(
     targets: Sequence[Tuple[float, float]],
     points: Sequence[Tuple[float, float]],
@@ -384,6 +447,7 @@ def distance_sums(
 # -- Weber point machinery ---------------------------------------------------
 
 
+@_timed
 def unit_vector_sum(
     x: float,
     y: float,
@@ -408,6 +472,7 @@ def unit_vector_sum(
     )
 
 
+@_timed
 def weiszfeld(
     points: Sequence[Tuple[float, float]],
     start: Tuple[float, float],

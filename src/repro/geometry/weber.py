@@ -29,6 +29,7 @@ from __future__ import annotations
 import math
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from .. import obs as _obs
 from . import kernels
 from .point import Point
 from .predicates import all_collinear, project_parameter
@@ -129,6 +130,24 @@ class WeberResult:
         )
 
 
+def _record_solver(
+    iterations: int, x: Point, pts: Sequence[Point], tol: Tolerance, certified: bool
+) -> None:
+    """Observability for the numerical solver (enabled-only path).
+
+    The convergence residual is the subgradient excess
+    ``max(0, |sum of unit vectors| - co-located count)`` — exactly the
+    quantity the optimality certificate bounds, so a residual near zero
+    *is* the certificate margin, comparable across runs and backends.
+    """
+    s, k = unit_vector_sum(x, pts, tol)
+    _obs.metrics.inc("weber.calls")
+    _obs.metrics.observe("weber.iterations", float(iterations))
+    _obs.metrics.observe("weber.residual", max(0.0, s.norm() - k))
+    if not certified:
+        _obs.metrics.inc("weber.uncertified")
+
+
 def _weiszfeld_step(x: Point, pts: Sequence[Point], singular_eps: float) -> Point:
     """One Vardi–Zhang-corrected Weiszfeld step from ``x``."""
     wx = 0.0
@@ -208,6 +227,8 @@ def geometric_median(
         )
         x = Point(bx, by)
         certified = is_weber_point(x, pts, tol)
+        if _obs.state.enabled:
+            _record_solver(iterations, x, pts, tol, certified)
         return WeberResult(x, iterations, certified, sum_of_distances(x, pts))
 
     best_input = min(pts, key=lambda p: sum_of_distances(p, pts))
@@ -226,6 +247,8 @@ def geometric_median(
             break
         x = nxt
     certified = is_weber_point(x, pts, tol)
+    if _obs.state.enabled:
+        _record_solver(iterations, x, pts, tol, certified)
     return WeberResult(x, iterations, certified, sum_of_distances(x, pts))
 
 

@@ -1,0 +1,194 @@
+"""Observability: structured events, counters/timers, profiling hooks.
+
+A single process-wide toggle gates the whole subsystem.  When **off**
+(the default) nothing is allocated, recorded or dispatched: call sites
+guard on one attribute read (``state.enabled``), so the simulation hot
+loop pays a few nanoseconds per round and the kernels one branch per
+call.  When **on** (``REPRO_OBS=1`` in the environment, ``--obs`` on the
+CLI, or :func:`enable` / :func:`observability` in code) three signal
+streams light up:
+
+events
+    Both engines emit one :class:`~repro.obs.events.RoundEvent` per
+    round/tick — the Section IV configuration class, multiplicity and
+    spread, the elected target and whether it was a safe point, and the
+    activated / crashed / moved sets.  Events flow to the registered
+    ``on_round`` hooks and to per-class round counters in
+    :data:`metrics`.
+
+metrics
+    A process-wide registry of counters and running aggregates
+    (:mod:`repro.obs.metrics`).  The geometry kernels record per-kernel
+    call counts and wall time with the active backend label, the Weber
+    solver records Weiszfeld iteration counts and convergence residuals,
+    and the experiment runner records per-worker throughput.
+
+hooks
+    :func:`~repro.obs.hooks.on_round` / ``on_kernel`` / ``on_run_end``
+    registration (:mod:`repro.obs.hooks`), plus a JSONL sink
+    (:class:`~repro.obs.sink.JsonlSink`) whose header carries the same
+    meta block as a ``repro-trace-v2`` archive, so an event stream can
+    be joined to its trace by seed and scenario.
+
+Layering: this package imports nothing from the rest of ``repro``, so
+the engines, kernels and runner can all import it without cycles.
+``RoundEvent.from_record`` defers its ``repro.core`` / ``repro.sim``
+imports to call time for the same reason.
+
+The toggle is exported to ``REPRO_OBS`` in the environment on
+:func:`enable`, mirroring the kernel-backend pinning of the experiment
+runner: worker subprocesses resolve the flag at import time, so a sweep
+profiled with ``--workers N`` instruments every worker.
+
+Instrumentation never changes results: events and metrics are derived
+from values the simulation already computed, and the CI ``obs`` job
+replays the committed corpus with ``REPRO_OBS=1`` to prove instrumented
+executions stay bit-identical to uninstrumented ones.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .events import OBS_SCHEMA, RoundEvent
+from .hooks import (
+    clear_hooks,
+    emit_kernel,
+    emit_round,
+    emit_run_end,
+    on_kernel,
+    on_round,
+    on_run_end,
+    remove_hook,
+)
+from .metrics import Metrics, metrics
+from .sink import Collector, JsonlSink, read_events
+
+__all__ = [
+    "OBS_SCHEMA",
+    "RoundEvent",
+    "Metrics",
+    "metrics",
+    "Collector",
+    "JsonlSink",
+    "read_events",
+    "on_round",
+    "on_kernel",
+    "on_run_end",
+    "remove_hook",
+    "clear_hooks",
+    "emit_round",
+    "emit_kernel",
+    "emit_run_end",
+    "state",
+    "is_enabled",
+    "enable",
+    "disable",
+    "observability",
+    "record_round",
+    "record_kernel",
+    "record_run_end",
+]
+
+
+class _ObsState:
+    """The toggle, as one attribute read on a slotted singleton.
+
+    Call sites in per-round and per-kernel-call paths check
+    ``state.enabled`` directly rather than calling :func:`is_enabled`:
+    an attribute read is the cheapest guard Python offers, which is what
+    makes the disabled path genuinely free.
+    """
+
+    __slots__ = ("enabled",)
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+
+def _env_truthy(value: Optional[str]) -> bool:
+    return (value or "").strip().lower() in ("1", "true", "yes", "on")
+
+
+#: The process-wide toggle; seeded from ``REPRO_OBS`` at import time.
+state = _ObsState(_env_truthy(os.environ.get("REPRO_OBS")))
+
+
+def is_enabled() -> bool:
+    """Is the observability layer currently recording?"""
+    return state.enabled
+
+
+def enable() -> None:
+    """Turn observability on, process-wide.
+
+    Also exports ``REPRO_OBS=1`` so worker subprocesses started after
+    this call (the experiment runner's pool, the differential checker's
+    recorders) come up instrumented too.
+    """
+    state.enabled = True
+    os.environ["REPRO_OBS"] = "1"
+
+
+def disable() -> None:
+    """Turn observability off and clear the environment export."""
+    state.enabled = False
+    os.environ.pop("REPRO_OBS", None)
+
+
+@contextmanager
+def observability(
+    jsonl: Optional[str] = None, meta: Optional[dict] = None
+) -> Iterator[Metrics]:
+    """Enable observability for a block, optionally sinking to JSONL.
+
+    Yields the process-wide :data:`metrics` registry.  With ``jsonl``
+    a :class:`JsonlSink` is opened at that path, registered for round
+    events and run-end summaries, and closed on exit; ``meta`` (a
+    ``repro-trace-v2`` meta dict) becomes the sink's join header.  The
+    previous toggle value is restored on exit.
+    """
+    sink = JsonlSink(jsonl, meta=meta) if jsonl else None
+    if sink is not None:
+        on_round(sink.write)
+        on_run_end(sink.write_run_end)
+    previous = state.enabled
+    enable()
+    try:
+        yield metrics
+    finally:
+        if not previous:
+            disable()
+        if sink is not None:
+            remove_hook(sink.write)
+            remove_hook(sink.write_run_end)
+            sink.close()
+
+
+# -- recording entry points (callers guard on ``state.enabled``) -------------
+
+
+def record_round(event: RoundEvent) -> None:
+    """Account a round event in the metrics and dispatch round hooks."""
+    metrics.inc("rounds.total")
+    metrics.inc(f"rounds.class.{event.config_class}")
+    if event.crashed:
+        metrics.inc("rounds.crashes", len(event.crashed))
+    emit_round(event)
+
+
+def record_kernel(name: str, seconds: float, backend: str) -> None:
+    """Account one kernel call and dispatch kernel hooks."""
+    metrics.record_kernel(name, seconds, backend)
+    emit_kernel(name, seconds, backend)
+
+
+def record_run_end(summary: dict) -> None:
+    """Account a finished run and dispatch run-end hooks."""
+    metrics.inc("runs.total")
+    verdict = summary.get("verdict")
+    if verdict:
+        metrics.inc(f"runs.verdict.{verdict}")
+    emit_run_end(summary)

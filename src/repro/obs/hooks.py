@@ -1,0 +1,95 @@
+"""Profiling hook registration and dispatch.
+
+Three hook points, each a plain list of callables dispatched in
+registration order:
+
+``on_round(fn)``
+    ``fn(event: RoundEvent)`` after every instrumented engine round.
+``on_kernel(fn)``
+    ``fn(name: str, seconds: float, backend: str)`` after every
+    instrumented geometry-kernel call.
+``on_run_end(fn)``
+    ``fn(summary: dict)`` when an instrumented run returns its result;
+    the summary carries engine kind, verdict, rounds and seed.
+
+Registration returns the callable, so the functions double as
+decorators.  Dispatch happens only from the ``record_*`` entry points in
+:mod:`repro.obs`, which the call sites guard behind the enabled flag —
+a registered hook on a disabled process never fires and costs nothing.
+
+A hook that raises propagates: observability must never *silently*
+corrupt a profiling session, and the engines treat hook exceptions
+exactly like observer exceptions (they surface out of ``step``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from .events import RoundEvent
+
+__all__ = [
+    "on_round",
+    "on_kernel",
+    "on_run_end",
+    "remove_hook",
+    "clear_hooks",
+    "emit_round",
+    "emit_kernel",
+    "emit_run_end",
+]
+
+RoundHook = Callable[[RoundEvent], None]
+KernelHook = Callable[[str, float, str], None]
+RunEndHook = Callable[[dict], None]
+
+_round_hooks: List[RoundHook] = []
+_kernel_hooks: List[KernelHook] = []
+_run_end_hooks: List[RunEndHook] = []
+
+
+def on_round(fn: RoundHook) -> RoundHook:
+    """Register a per-round hook (usable as a decorator)."""
+    _round_hooks.append(fn)
+    return fn
+
+
+def on_kernel(fn: KernelHook) -> KernelHook:
+    """Register a per-kernel-call hook (usable as a decorator)."""
+    _kernel_hooks.append(fn)
+    return fn
+
+
+def on_run_end(fn: RunEndHook) -> RunEndHook:
+    """Register a run-end hook (usable as a decorator)."""
+    _run_end_hooks.append(fn)
+    return fn
+
+
+def remove_hook(fn: Callable) -> None:
+    """Unregister ``fn`` from every hook point it appears in."""
+    for hooks in (_round_hooks, _kernel_hooks, _run_end_hooks):
+        while fn in hooks:
+            hooks.remove(fn)
+
+
+def clear_hooks() -> None:
+    """Unregister everything (test isolation)."""
+    _round_hooks.clear()
+    _kernel_hooks.clear()
+    _run_end_hooks.clear()
+
+
+def emit_round(event: RoundEvent) -> None:
+    for fn in _round_hooks:
+        fn(event)
+
+
+def emit_kernel(name: str, seconds: float, backend: str) -> None:
+    for fn in _kernel_hooks:
+        fn(name, seconds, backend)
+
+
+def emit_run_end(summary: dict) -> None:
+    for fn in _run_end_hooks:
+        fn(summary)

@@ -1,0 +1,132 @@
+"""Process-wide counters and timers for the observability layer.
+
+One :class:`Metrics` registry per process (:data:`metrics`), holding
+
+* **counters** — monotonically increasing integers (`inc`), e.g.
+  ``rounds.class.A`` or ``runs.verdict.gathered``;
+* **stats** — running aggregates of observed values (`observe`):
+  count / total / min / max, e.g. ``weber.iterations`` or
+  ``runner.run_seconds``;
+* **kernel timers** — per ``(kernel, backend)`` call counts and summed
+  wall time (`record_kernel`), fed by the instrumented geometry kernels.
+
+Everything is plain dictionaries updated in-line: recording one value is
+a couple of dict operations, cheap enough to sit inside instrumented
+kernels.  The registry is process-local by design — worker processes of
+a parallel sweep each accumulate their own view, and the runner folds
+what matters (per-worker throughput) into result-independent summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["Stat", "Metrics", "metrics"]
+
+
+class Stat:
+    """Running aggregate of a stream of observations."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class Metrics:
+    """A registry of counters, stats, and kernel timers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._stats: Dict[str, Stat] = {}
+        self._kernels: Dict[Tuple[str, str], Stat] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Bump counter ``name`` by ``value``."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into the running aggregate ``name``."""
+        stat = self._stats.get(name)
+        if stat is None:
+            stat = self._stats[name] = Stat()
+        stat.add(value)
+
+    def record_kernel(self, name: str, seconds: float, backend: str) -> None:
+        """Account one call of kernel ``name`` on ``backend``."""
+        key = (name, backend)
+        stat = self._kernels.get(key)
+        if stat is None:
+            stat = self._kernels[key] = Stat()
+        stat.add(seconds)
+
+    # -- reading -------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, int]:
+        """Copy of all counters (stable for iteration while recording)."""
+        return dict(self._counters)
+
+    def stats(self) -> Dict[str, Stat]:
+        return dict(self._stats)
+
+    def kernels(self) -> List[dict]:
+        """Kernel timer rows sorted by total time, descending."""
+        rows = [
+            {
+                "kernel": name,
+                "backend": backend,
+                "calls": stat.count,
+                "total_s": stat.total,
+                "mean_s": stat.mean,
+            }
+            for (name, backend), stat in self._kernels.items()
+        ]
+        rows.sort(key=lambda row: row["total_s"], reverse=True)
+        return rows
+
+    def snapshot(self) -> dict:
+        """One JSON-ready dict of everything recorded so far."""
+        return {
+            "counters": dict(self._counters),
+            "stats": {name: s.to_dict() for name, s in self._stats.items()},
+            "kernels": self.kernels(),
+        }
+
+    def reset(self) -> None:
+        """Drop everything (profiling sessions start from zero)."""
+        self._counters.clear()
+        self._stats.clear()
+        self._kernels.clear()
+
+
+#: The process-wide registry all instrumentation records into.
+metrics = Metrics()

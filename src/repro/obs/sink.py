@@ -1,0 +1,113 @@
+"""Event sinks: in-memory collection and the JSONL archive format.
+
+The JSONL layout mirrors the trace archive's self-description principle:
+
+* line 1 — header: ``{"format": "repro-obs-v1", "meta": {...}}`` where
+  ``meta`` is the *same* dict a ``repro-trace-v2`` archive embeds
+  (scenario, seeds, backend, tolerance, engine).  An event stream and a
+  trace recorded from the same run therefore join on
+  ``meta["seed"]`` / ``meta["scenario"]``.
+* one line per :class:`~repro.obs.events.RoundEvent`;
+* zero or more trailing ``{"run_end": {...}}`` summary lines.
+
+Python floats serialize via ``repr``, which round-trips float64 exactly,
+so spreads and target coordinates survive the archive bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from .events import OBS_SCHEMA, RoundEvent
+
+__all__ = ["Collector", "JsonlSink", "read_events"]
+
+
+class Collector:
+    """In-memory ``on_round`` hook: keeps events and per-class counts.
+
+    The CLI ``profile`` command registers one to turn the event stream
+    into the per-class round-count table without a file in between.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[RoundEvent] = []
+        self.class_counts: Dict[str, int] = {}
+
+    def __call__(self, event: RoundEvent) -> None:
+        self.events.append(event)
+        self.class_counts[event.config_class] = (
+            self.class_counts.get(event.config_class, 0) + 1
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink:
+    """Streaming JSONL writer for round events and run-end summaries.
+
+    The header line is written eagerly on construction so even a stream
+    cut short mid-run identifies itself and its provenance.  ``write``
+    and ``write_run_end`` match the ``on_round`` / ``on_run_end`` hook
+    signatures, so a sink registers directly.
+    """
+
+    def __init__(self, path: str, meta: Optional[dict] = None) -> None:
+        self.path = path
+        self.meta = meta
+        self._handle: Optional[TextIO] = open(path, "w", encoding="utf-8")
+        self._write_line({"format": OBS_SCHEMA, "meta": meta})
+
+    def _write_line(self, payload: dict) -> None:
+        if self._handle is None:
+            raise ValueError(f"sink {self.path!r} is closed")
+        self._handle.write(json.dumps(payload))
+        self._handle.write("\n")
+
+    def write(self, event: RoundEvent) -> None:
+        self._write_line(event.to_dict())
+
+    def write_run_end(self, summary: dict) -> None:
+        self._write_line({"run_end": summary})
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(
+    path: str,
+) -> Tuple[Optional[dict], List[RoundEvent], List[dict]]:
+    """Read a JSONL event stream: ``(meta, events, run_end_summaries)``.
+
+    Raises :class:`ValueError` on a missing or foreign header so stale
+    or truncated-at-birth files fail loudly.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        try:
+            header = json.loads(header_line) if header_line.strip() else None
+        except json.JSONDecodeError:
+            header = None
+        if not isinstance(header, dict) or header.get("format") != OBS_SCHEMA:
+            raise ValueError(f"{path!r} is not a {OBS_SCHEMA} event stream")
+        events: List[RoundEvent] = []
+        run_ends: List[dict] = []
+        for line in handle:
+            if not line.strip():
+                continue
+            payload = json.loads(line)
+            if "run_end" in payload:
+                run_ends.append(payload["run_end"])
+            else:
+                events.append(RoundEvent.from_dict(payload))
+    return header.get("meta"), events, run_ends

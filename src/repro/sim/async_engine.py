@@ -48,12 +48,15 @@ from ..core import (
     classify,
 )
 from ..geometry import DEFAULT_TOLERANCE, Frame, Point, Tolerance, random_frame
+from .. import obs as _obs
+from ..obs.events import RoundEvent
 from .engine import SimulationResult, Verdict, component_rng
 from .faults import CrashAdversary, NoCrashes
 from .gathering import gathered_point
 from .movement import MovementModel, RigidMovement
 from .robot import Robot
 from .scheduler import FairnessWrapper, FullySynchronous, Scheduler
+from .trace import RoundRecord, Trace, TraceMeta
 
 __all__ = ["AsyncSimulation"]
 
@@ -89,6 +92,7 @@ class AsyncSimulation:
         snap_tolerance: float = 1e-9,
         max_ticks: int = 100_000,
         halt_on_bivalent: bool = True,
+        record_trace: bool = False,
     ) -> None:
         if not positions:
             raise ValueError("a simulation needs at least one robot")
@@ -125,6 +129,24 @@ class AsyncSimulation:
         self._last_active: Dict[int, int] = {}
         self._last_moved: Set[int] = set()
         self.stale_moves = 0  # moves whose target was computed >1 tick ago
+        # Per-tick records, same schema as the ATOM engine's — one record
+        # per *tick*, so a full LCM cycle of a robot spans two records.
+        # The partial meta block marks the engine so replay dispatches
+        # back here and invariant checkers know the ATOM class-transition
+        # lemmas do not apply.
+        self.trace: Optional[Trace] = (
+            Trace(
+                meta=TraceMeta.for_run(
+                    scenario=None,
+                    seed=None,
+                    engine_seed=seed,
+                    tol=tol,
+                    engine="async",
+                )
+            )
+            if record_trace
+            else None
+        )
 
     # -- accessors ---------------------------------------------------------------
 
@@ -167,6 +189,11 @@ class AsyncSimulation:
         )
 
         config_now = self.configuration()
+        # Recording shares the ATOM engine's RoundRecord schema, one
+        # record per tick: LOOK activations record the freshly computed
+        # destination, MOVE activations the (possibly stale) pending one.
+        recording = self.trace is not None or _obs.state.enabled
+        destinations: Dict[int, Point] = {}
         moved: List[int] = []
         for robot in self.robots:
             rid = robot.robot_id
@@ -184,6 +211,8 @@ class AsyncSimulation:
                 )
                 dest = self._snap(frame.to_global(dest_local), config_now)
                 self.pending[rid] = _Pending(dest, self.tick)
+                if recording:
+                    destinations[rid] = dest
             else:
                 # MOVE towards the (possibly stale) destination.
                 if entry.looked_at_tick < self.tick - 1:
@@ -197,8 +226,25 @@ class AsyncSimulation:
                     robot.distance_travelled += robot.position.distance_to(end)
                     robot.position = end
                     moved.append(rid)
+                if recording:
+                    destinations[rid] = entry.destination
                 del self.pending[rid]
         self._last_moved = set(moved)
+        if recording:
+            record = RoundRecord(
+                round_index=self.tick,
+                config_before=config_now,
+                config_class=classify(config_now),
+                active=tuple(sorted(active)),
+                crashed_now=tuple(sorted(crash_now)),
+                destinations=destinations,
+                config_after=self.configuration(),
+                moved=tuple(moved),
+            )
+            if self.trace is not None:
+                self.trace.append(record)
+            if _obs.state.enabled:
+                _obs.record_round(RoundEvent.from_record(record, engine="async"))
         self.tick += 1
 
     # -- run loop ----------------------------------------------------------------------
@@ -242,6 +288,16 @@ class AsyncSimulation:
                 break
 
         spot = self._gathered_now()
+        if _obs.state.enabled:
+            _obs.record_run_end(
+                {
+                    "engine": "async",
+                    "verdict": verdict,
+                    "rounds": self.tick,
+                    "seed": self.seed,
+                    "stale_moves": self.stale_moves,
+                }
+            )
         return SimulationResult(
             verdict=verdict,
             rounds=self.tick,
@@ -252,7 +308,7 @@ class AsyncSimulation:
             ),
             gathering_point=spot,
             total_distance=sum(r.distance_travelled for r in self.robots),
-            trace=None,
+            trace=self.trace,
             initial_class=classes_seen[0]
             if classes_seen
             else classify(self.configuration()),

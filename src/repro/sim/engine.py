@@ -42,6 +42,8 @@ from ..core import (
     classify,
 )
 from ..geometry import DEFAULT_TOLERANCE, Frame, Point, Tolerance, random_frame
+from .. import obs as _obs
+from ..obs.events import RoundEvent
 from .faults import CrashAdversary, NoCrashes
 from .gathering import gathered_point
 from .movement import MovementModel, RigidMovement
@@ -466,6 +468,8 @@ class Simulation:
             self.trace.append(record)
         for observer in self.observers:
             observer(record)
+        if _obs.state.enabled:
+            _obs.record_round(RoundEvent.from_record(record, engine="atom"))
         self.round_index += 1
         return record
 
@@ -546,6 +550,15 @@ class Simulation:
                 break
 
         spot = self._gathered_now()
+        if _obs.state.enabled:
+            _obs.record_run_end(
+                {
+                    "engine": "atom",
+                    "verdict": verdict,
+                    "rounds": self.round_index,
+                    "seed": self.seed,
+                }
+            )
         return SimulationResult(
             verdict=verdict,
             rounds=self.round_index,

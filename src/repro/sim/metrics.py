@@ -6,15 +6,24 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..geometry import Point
+from ..geometry import Point, kernels
 from .engine import SimulationResult
 
 __all__ = ["spread", "summarize_runs", "RunSummary"]
 
 
 def spread(positions: Iterable[Point]) -> float:
-    """Diameter of a point set — the simplest convergence measure."""
+    """Diameter of a point set — the simplest convergence measure.
+
+    Routed through the vectorized ``pairwise_diameter`` kernel under the
+    numpy backend: per-round spread logging (the observability layer
+    emits it on every round event) must not reintroduce an O(n^2)
+    pure-Python loop on the hot path the kernels exist to avoid.  The
+    loop below is the reference fallback.
+    """
     pts = list(positions)
+    if kernels.enabled_for(len(pts)):
+        return kernels.pairwise_diameter([(p.x, p.y) for p in pts])
     best = 0.0
     for i, p in enumerate(pts):
         for q in pts[i + 1 :]:
@@ -32,7 +41,10 @@ class RunSummary:
     stalled: int
     timed_out: int
     mean_rounds_gathered: float
-    max_rounds_gathered: int
+    #: ``None`` when no run gathered — never ``0``: tables render the
+    #: absence as ``-``, and aggregation code cannot mistake a fully
+    #: failed batch for instant gathering.
+    max_rounds_gathered: Optional[int]
     mean_distance: float
 
     @property
@@ -51,7 +63,7 @@ def summarize_runs(results: Sequence[SimulationResult]) -> RunSummary:
         stalled=sum(1 for r in results if r.verdict == "stalled"),
         timed_out=sum(1 for r in results if r.verdict == "max-rounds"),
         mean_rounds_gathered=(sum(rounds) / len(rounds)) if rounds else math.nan,
-        max_rounds_gathered=max(rounds) if rounds else 0,
+        max_rounds_gathered=max(rounds) if rounds else None,
         mean_distance=(
             sum(r.total_distance for r in gathered) / len(gathered)
             if gathered

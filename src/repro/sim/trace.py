@@ -63,6 +63,12 @@ class TraceMeta:
     backend: str
     package_version: str
     tolerance: Optional[Tuple[float, float, float]]
+    #: Which engine executed the run: ``"atom"`` (the paper's
+    #: semi-synchronous rounds) or ``"async"`` (the CORDA-style tick
+    #: engine).  Replay dispatches on it via the embedded scenario; it
+    #: is recorded here too so tools can tell the scheduler model of an
+    #: archive without parsing the scenario block.
+    engine: str = "atom"
 
     @classmethod
     def for_run(
@@ -72,6 +78,7 @@ class TraceMeta:
         seed: Optional[int],
         engine_seed: Optional[int],
         tol: Tolerance,
+        engine: str = "atom",
     ) -> "TraceMeta":
         """Meta for a run recorded in this process, right now."""
         return cls(
@@ -81,6 +88,7 @@ class TraceMeta:
             backend=kernels.get_backend(),
             package_version=_package_version(),
             tolerance=(tol.eps_dist, tol.eps_angle, tol.eps_solver),
+            engine=engine,
         )
 
     def tol(self) -> Tolerance:
@@ -100,6 +108,7 @@ class TraceMeta:
             "backend": self.backend,
             "package_version": self.package_version,
             "tolerance": list(self.tolerance) if self.tolerance else None,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -112,6 +121,7 @@ class TraceMeta:
             backend=data.get("backend", "python"),
             package_version=data.get("package_version", "unknown"),
             tolerance=tuple(tolerance) if tolerance else None,
+            engine=data.get("engine", "atom"),
         )
 
 

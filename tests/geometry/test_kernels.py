@@ -207,3 +207,34 @@ class TestViewKernelPerformance:
             f"numpy view kernel took {numpy_s:.4f}s vs "
             f"{python_s:.4f}s pure-python at n=256"
         )
+
+
+@needs_numpy
+class TestPairwiseDiameter:
+    def test_matches_scalar(self):
+        coords = random_coords(40, seed=11)
+        best = 0.0
+        for i, (ax, ay) in enumerate(coords):
+            for bx, by in coords[i + 1 :]:
+                best = max(best, math.hypot(ax - bx, ay - by))
+        with kernels.backend("numpy"):
+            assert abs(kernels.pairwise_diameter(coords) - best) < 1e-12
+
+    def test_degenerate_inputs(self):
+        with kernels.backend("numpy"):
+            assert kernels.pairwise_diameter([]) == 0.0
+            assert kernels.pairwise_diameter([(1.0, 2.0)]) == 0.0
+            assert kernels.pairwise_diameter([(0.0, 0.0), (3.0, 4.0)]) == 5.0
+
+    def test_blocked_path_matches_dense(self):
+        # Above _DENSE_PAIRS_MAX the kernel switches to row blocks;
+        # both paths must agree exactly on the same input.
+        coords = random_coords(kernels._DENSE_PAIRS_MAX + 10, seed=13)
+        with kernels.backend("numpy"):
+            blocked = kernels.pairwise_diameter(coords)
+        dense = max(
+            math.hypot(ax - bx, ay - by)
+            for i, (ax, ay) in enumerate(coords)
+            for bx, by in coords[i + 1 :]
+        )
+        assert abs(blocked - dense) < 1e-12

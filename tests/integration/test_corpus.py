@@ -44,6 +44,11 @@ def test_committed_corpus_replays_bit_identically(path):
 )
 def test_committed_corpus_satisfies_invariants_offline(path):
     trace = load_trace(path)
+    if trace.meta is not None and trace.meta.engine == "async":
+        # The invariant suite encodes ATOM class-transition lemmas,
+        # which ASYNC interleavings legitimately violate; async corpus
+        # entries are covered by the bit-identical replay test above.
+        pytest.skip("async-engine trace: ATOM invariants do not apply")
     monitor = verify_trace(trace)
     assert monitor.rounds_checked == len(trace)
 

@@ -1,0 +1,72 @@
+"""Zero-overhead contract: disabled observability allocates nothing.
+
+The engines guard event construction on one attribute read; this
+regression test proves the guard by counting ``RoundEvent.from_record``
+invocations — with observability off, the round loop must never build an
+event object, in either engine.
+"""
+
+from repro import obs
+from repro.experiments.runner import Scenario, run_scenario
+from repro.obs.events import RoundEvent
+
+SMALL = Scenario(
+    workload="asymmetric",
+    n=6,
+    f=1,
+    scheduler="round-robin",
+    crashes="after-move",
+    movement="rigid",
+    max_rounds=2_000,
+)
+ASYNC_SMALL = Scenario(
+    workload="asymmetric",
+    n=6,
+    f=1,
+    scheduler="round-robin",
+    crashes="after-move",
+    movement="rigid",
+    max_rounds=2_000,
+    engine="async",
+)
+
+
+def _count_event_builds(monkeypatch):
+    calls = {"n": 0}
+    original = RoundEvent.from_record.__func__
+
+    def counting(cls, record, engine="atom"):
+        calls["n"] += 1
+        return original(cls, record, engine)
+
+    monkeypatch.setattr(RoundEvent, "from_record", classmethod(counting))
+    return calls
+
+
+class TestNoAllocationWhenDisabled:
+    def test_atom_round_loop_builds_no_events(self, monkeypatch):
+        calls = _count_event_builds(monkeypatch)
+        result = run_scenario(SMALL, 3)
+        assert result.rounds > 0
+        assert calls["n"] == 0
+
+    def test_async_tick_loop_builds_no_events_or_records(self, monkeypatch):
+        calls = _count_event_builds(monkeypatch)
+        result = run_scenario(ASYNC_SMALL, 3)
+        assert result.rounds > 0
+        assert calls["n"] == 0
+        # Without record_trace the async engine must not retain records
+        # either — the recording branch is the same guarded path.
+        assert result.trace is None
+
+    def test_enabled_loop_builds_one_event_per_round(self, monkeypatch):
+        calls = _count_event_builds(monkeypatch)
+        obs.enable()
+        result = run_scenario(SMALL, 3)
+        assert calls["n"] == result.rounds
+
+    def test_enabled_async_loop_builds_one_event_per_tick(self, monkeypatch):
+        calls = _count_event_builds(monkeypatch)
+        obs.enable()
+        result = run_scenario(ASYNC_SMALL, 3)
+        assert calls["n"] == result.rounds

@@ -1,9 +1,12 @@
 """Unit tests for run metrics and batch summaries."""
 
 import math
+import random
+
+import pytest
 
 from repro.algorithms import WaitFreeGather
-from repro.geometry import Point
+from repro.geometry import Point, kernels
 from repro.sim import Simulation, spread, summarize_runs
 
 
@@ -15,6 +18,21 @@ class TestSpread:
     def test_diameter(self):
         pts = [Point(0, 0), Point(3, 4), Point(1, 1)]
         assert spread(pts) == 5.0
+
+    @pytest.mark.skipif(
+        "numpy" not in kernels.available_backends(),
+        reason="NumPy not importable in this environment",
+    )
+    def test_kernel_route_matches_python_fallback(self):
+        rng = random.Random(17)
+        pts = [
+            Point(rng.uniform(-10, 10), rng.uniform(-10, 10))
+            for _ in range(64)
+        ]
+        with kernels.backend("python"):
+            reference = spread(pts)
+        with kernels.backend("numpy"):
+            assert abs(spread(pts) - reference) < 1e-12
 
 
 class TestSummaries:
@@ -47,3 +65,17 @@ class TestSummaries:
         assert summary.runs == 0
         assert summary.success_rate == 0.0
         assert math.isnan(summary.mean_rounds_gathered)
+
+    def test_no_gathered_runs_max_rounds_is_none_not_zero(self):
+        # A fully failed batch must not be mistakable for instant
+        # gathering: the sentinel is None (tables render "-"), never 0.
+        biv = [Point(0, 0)] * 2 + [Point(3, 3)] * 2
+        results = [Simulation(WaitFreeGather(), biv, seed=0).run()]
+        summary = summarize_runs(results)
+        assert summary.gathered == 0
+        assert summary.max_rounds_gathered is None
+
+    def test_none_max_rounds_renders_as_dash(self):
+        from repro.experiments.report import format_cell
+
+        assert format_cell(None) == "-"

@@ -2,7 +2,15 @@
 
 import json
 
-from repro.bench import SCHEMA, run_bench, write_bench
+import pytest
+
+from repro.bench import (
+    HISTORY_SCHEMA,
+    SCHEMA,
+    load_history,
+    run_bench,
+    write_bench,
+)
 from repro.geometry import kernels
 
 
@@ -26,7 +34,42 @@ class TestBenchDocument:
 
         path = tmp_path / "bench.json"
         write_bench(document, str(path))
-        assert json.loads(path.read_text())["schema"] == SCHEMA
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == HISTORY_SCHEMA
+        assert payload["latest"]["schema"] == SCHEMA
+
+    def test_two_writes_keep_both_history_entries(self, tmp_path):
+        path = tmp_path / "bench.json"
+        first = {"schema": SCHEMA, "generated_at": "2026-01-01T00:00:00"}
+        second = {"schema": SCHEMA, "generated_at": "2026-01-02T00:00:00"}
+        write_bench(first, str(path))
+        write_bench(second, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == HISTORY_SCHEMA
+        assert len(payload["runs"]) == 2
+        assert payload["latest"] == second
+        stamps = [run["recorded_at"] for run in payload["runs"]]
+        assert stamps == ["2026-01-01T00:00:00", "2026-01-02T00:00:00"]
+
+    def test_legacy_single_document_becomes_first_entry(self, tmp_path):
+        path = tmp_path / "bench.json"
+        legacy = {"schema": SCHEMA, "generated_at": "2025-12-31T00:00:00"}
+        path.write_text(json.dumps(legacy))
+        fresh = {"schema": SCHEMA, "generated_at": "2026-01-01T00:00:00"}
+        write_bench(fresh, str(path))
+        payload = json.loads(path.read_text())
+        assert len(payload["runs"]) == 2
+        assert payload["runs"][0]["document"] == legacy
+        assert payload["runs"][0]["git_sha"] is None
+        assert payload["latest"] == fresh
+
+    def test_foreign_file_fails_loudly(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"schema": "something-else"}))
+        with pytest.raises(ValueError):
+            load_history(str(path))
+        with pytest.raises(ValueError):
+            write_bench({"schema": SCHEMA}, str(path))
 
     def test_speedups_present_when_numpy_available(self):
         document = run_bench(sizes=[16], repeats=1)
