@@ -50,6 +50,7 @@ from .algorithms import WaitFreeGather
 from .core import Configuration, safe_points
 from .core.views import view_table
 from .geometry import geometric_median, kernels
+from .resilience import TraceFormatError, atomic_write
 from .sim import Simulation
 from .sim.scheduler import FullySynchronous
 from .workloads import generate
@@ -213,12 +214,34 @@ def load_history(path: str) -> Dict:
 
     A legacy ``repro-bench/1`` single-run file becomes a one-entry
     history (its ``generated_at`` as the timestamp, no git SHA — the
-    commit it ran at was never recorded).  Anything else raises
-    :class:`ValueError` so a stale or foreign file fails loudly rather
+    commit it ran at was never recorded).  Corrupted JSON or a foreign
+    schema raises :class:`~repro.resilience.errors.TraceFormatError`
+    (a :class:`ValueError`) carrying the path and, for syntax errors,
+    the line/offset — so a stale or truncated file fails loudly rather
     than being silently clobbered by the next bench run.
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        data = json.load(handle)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(
+            f"{path}: corrupted bench history: invalid JSON at line "
+            f"{exc.lineno} column {exc.colno}: {exc.msg}",
+            path=path,
+            line=exc.lineno,
+            offset=exc.pos,
+        ) from exc
+    except OSError as exc:
+        raise TraceFormatError(
+            f"{path}: cannot read bench history: {exc}", path=path
+        ) from exc
+    except UnicodeDecodeError as exc:
+        raise TraceFormatError(
+            f"{path}: not a text file (binary garbage at byte "
+            f"{exc.start})",
+            path=path,
+            offset=exc.start,
+        ) from exc
     schema = data.get("schema") if isinstance(data, dict) else None
     if schema == HISTORY_SCHEMA:
         return data
@@ -234,7 +257,11 @@ def load_history(path: str) -> Dict:
                 }
             ],
         }
-    raise ValueError(f"{path!r} is not a {SCHEMA}/{HISTORY_SCHEMA} file")
+    raise TraceFormatError(
+        f"{path!r} is not a {SCHEMA}/{HISTORY_SCHEMA} file "
+        f"(schema={schema!r})",
+        path=path,
+    )
 
 
 def write_bench(document: Dict, path: str) -> None:
@@ -244,6 +271,10 @@ def write_bench(document: Dict, path: str) -> None:
     one key; the ``runs`` array keeps every prior run (keyed by git SHA
     and timestamp), which is what makes the performance trajectory
     across commits recoverable from the file alone.
+
+    The history is written atomically (temp file + fsync + rename): an
+    interrupt mid-append leaves the previous history intact instead of
+    a truncated JSON that poisons every later ``load_history``.
     """
     if os.path.exists(path):
         history = load_history(path)
@@ -257,6 +288,4 @@ def write_bench(document: Dict, path: str) -> None:
         }
     )
     history["latest"] = document
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(history, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    atomic_write(path, json.dumps(history, indent=2, sort_keys=False) + "\n")

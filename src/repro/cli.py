@@ -26,6 +26,14 @@ Three subcommands:
     suite over archives offline (``--invariants``), and diff the two
     kernel backends on a scenario in subprocesses (``--diff``).
 
+``sweep``
+    Run one scenario over a seed range under the resilient execution
+    layer: per-seed timeouts and bounded retries (``--timeout``,
+    ``--retries``), a crash-safe checkpoint journal (``--journal``) and
+    resumption after a kill (``--resume``).  Results are bit-identical
+    to a sequential run regardless of retries, pool rebuilds or
+    resumption.
+
 ``stats``
     Summarize a trace JSON or an observability JSONL event stream as
     tables: per-class round counts, crash/move totals, spread trajectory.
@@ -65,6 +73,7 @@ from .experiments.runner import (
     run_scenario,
 )
 from .geometry import DEFAULT_TOLERANCE, kernels
+from .resilience import ReproError, RunPolicy, SweepJournal, TraceFormatError
 from .sim import Simulation
 from .sim.trace import TraceMeta
 from .workloads import CLASS_GENERATORS, generate
@@ -218,6 +227,64 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--seed", type=int, default=0)
     render.add_argument("--snapshot", action="store_true",
                         help="render the initial configuration only (no run)")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run one scenario over a seed range, resiliently",
+        description=(
+            "Resilient seed sweep.  Every completed seed is checkpointed "
+            "to an fsynced repro-sweep-v1 journal (--journal) the moment "
+            "it finishes; crashed or hung workers are retried with "
+            "exponential backoff and the pool is rebuilt transparently.  "
+            "A sweep killed at any point resumes from its last "
+            "checkpoint with --resume, skipping journaled seeds.  "
+            "Because each seed is a pure function of (scenario, seed), "
+            "the final results are bit-identical to a clean sequential "
+            "run no matter how many retries, rebuilds or resumptions "
+            "happened.  Deterministic fault injection for testing comes "
+            "from the REPRO_CHAOS environment variable."
+        ),
+    )
+    sweep.add_argument("--workload", default="random", choices=sorted(CLASS_GENERATORS))
+    sweep.add_argument("--n", type=int, default=8)
+    sweep.add_argument("--algorithm", default="wait-free-gather", choices=sorted(ALGORITHMS))
+    sweep.add_argument("--scheduler", default="random",
+                       choices=["fsync", "round-robin", "random", "laggard", "half-split"])
+    sweep.add_argument("--crashes", default="random",
+                       choices=["none", "random", "after-move", "elected"])
+    sweep.add_argument("--f", type=int, default=0, help="fault budget (crashes)")
+    sweep.add_argument("--movement", default="random-stop",
+                       choices=["rigid", "adversarial-stop", "random-stop", "collusive-stop"])
+    sweep.add_argument("--max-rounds", type=int, default=20_000)
+    sweep.add_argument("--engine", default="atom", choices=["atom", "async"])
+    sweep.add_argument("--seeds", type=int, default=16, metavar="N",
+                       help="number of seeds to sweep "
+                            "(seed-start .. seed-start+N-1; default 16)")
+    sweep.add_argument("--seed-start", type=int, default=0, metavar="S",
+                       help="first seed of the range (default 0)")
+    sweep.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="shard seeds over N processes "
+                            "(results identical to sequential)")
+    sweep.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-seed wall-clock timeout (pooled runs; a "
+                            "timed-out seed is charged a retry and its "
+                            "worker replaced)")
+    sweep.add_argument("--retries", type=int, default=2,
+                       help="attributable failures tolerated per seed "
+                            "before the sweep fails (default 2)")
+    sweep.add_argument("--backoff", type=float, default=0.1, metavar="SEC",
+                       help="base retry delay, doubled per attempt "
+                            "(default 0.1)")
+    sweep.add_argument("--journal", metavar="PATH", default=None,
+                       help="checkpoint completed seeds to a "
+                            "repro-sweep-v1 JSONL journal at PATH")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip seeds already recorded in --journal "
+                            "(their journaled results are returned "
+                            "bit-identically)")
+    sweep.add_argument("--archive-failures", metavar="DIR", default=None,
+                       help="archive a replayable trace JSON into DIR for "
+                            "every failing seed")
 
     stats = sub.add_parser(
         "stats",
@@ -382,8 +449,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print()
         print(result.trace.render())
     if args.save_trace and result.trace is not None:
-        with open(args.save_trace, "w", encoding="utf-8") as handle:
-            handle.write(result.trace.to_json(indent=2))
+        from .sim.replay import save_trace
+
+        save_trace(result.trace, args.save_trace)
         print(f"trace saved to {args.save_trace}")
     if want_obs:
         print()
@@ -601,6 +669,82 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments.runner import run_batch
+
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
+    if args.journal and os.path.exists(args.journal) and not args.resume:
+        print(
+            f"error: journal {args.journal!r} already exists; pass "
+            "--resume to continue it, or remove it to start fresh",
+            file=sys.stderr,
+        )
+        return 2
+
+    scenario = Scenario(
+        workload=args.workload,
+        n=args.n,
+        algorithm=args.algorithm,
+        scheduler=args.scheduler,
+        crashes=args.crashes,
+        f=args.f,
+        movement=args.movement,
+        max_rounds=args.max_rounds,
+        engine=args.engine,
+    )
+    seeds = list(range(args.seed_start, args.seed_start + args.seeds))
+    resumed = 0
+    if args.resume and os.path.exists(args.journal):
+        # Validates the journal header against this sweep's scenario, so
+        # a --resume onto the wrong journal fails here, before any work.
+        resumed = len(SweepJournal.peek(args.journal, scenario.to_dict()))
+    policy = RunPolicy(
+        timeout=args.timeout, retries=args.retries, backoff=args.backoff
+    )
+
+    print(f"sweep      : {scenario.label()}")
+    print(f"seeds      : {seeds[0]}..{seeds[-1]} ({len(seeds)} seeds)")
+    if args.journal:
+        print(f"journal    : {args.journal}")
+    if resumed:
+        print(f"resumed    : {resumed} seed(s) already journaled, skipped")
+    start = time.perf_counter()
+    results = run_batch(
+        scenario,
+        seeds,
+        workers=args.workers,
+        archive_dir=args.archive_failures,
+        policy=policy,
+        journal_path=args.journal,
+        resume=args.resume,
+    )
+    elapsed = time.perf_counter() - start
+
+    table = Table(
+        "sweep",
+        f"{scenario.label()} ({elapsed:.1f}s)",
+        ["seed", "verdict", "rounds", "crashed", "classes"],
+    )
+    for seed, result in zip(seeds, results):
+        table.add_row(
+            seed,
+            result.verdict,
+            result.rounds,
+            len(result.crashed_ids),
+            " -> ".join(str(c) for c in result.classes_seen),
+        )
+    print()
+    print(table.render())
+    ok = sum(
+        1 for r in results if r.gathered or r.verdict == "impossible"
+    )
+    print()
+    print(f"{ok}/{len(results)} seed(s) gathered or provably impossible")
+    return 0 if ok == len(results) else 1
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .obs import RoundEvent, read_events
 
@@ -610,6 +754,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     try:
         meta, events, run_ends = read_events(args.input)
         source = "obs event stream"
+    except TraceFormatError:
+        # A real obs stream with a corrupted payload: report it as such
+        # rather than re-parsing the file as a trace archive and blaming
+        # the wrong format.
+        raise
     except ValueError:
         from .sim.replay import load_trace
 
@@ -761,6 +910,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_hunt(args)
         if args.command == "check":
             return _cmd_check(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "stats":
             return _cmd_stats(args)
         if args.command == "profile":
@@ -770,6 +921,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; that is not our error.
         return 0
+    except KeyboardInterrupt:
+        # ResilientExecutor teardown has already cancelled queued work
+        # and killed lingering workers by the time this propagates.
+        print("interrupted", file=sys.stderr)
+        return 130
+    except ReproError as exc:
+        # The structured taxonomy: corrupted inputs, exhausted retries,
+        # timeouts.  One diagnostic line, a meaningful exit code, and
+        # never a traceback for an operational failure.
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

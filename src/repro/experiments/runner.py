@@ -4,6 +4,14 @@ Experiments declare *scenarios* (workload kind, team size, fault budget,
 scheduler, movement model, algorithm) and the runner executes them over a
 seed range, returning raw results for the experiment module to fold into
 its table.  Everything is deterministic in the seed.
+
+Execution is *wait-free* (see :mod:`repro.resilience`): a crashed,
+killed or hung worker never loses the batch — incomplete seeds are
+retried with backoff, broken pools are rebuilt, and with a checkpoint
+journal (``journal_path``) an interrupted ``run_batch`` resumes without
+re-running completed seeds.  Because every seed is a pure function of
+``(scenario, seed)``, retried and resumed results are bit-identical to
+a clean sequential run.
 """
 
 from __future__ import annotations
@@ -18,6 +26,13 @@ from functools import partial
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from .. import obs as _obs
+from ..resilience import (
+    ChaosPolicy,
+    ResilientExecutor,
+    RunPolicy,
+    SweepJournal,
+    atomic_write,
+)
 from ..algorithms import ALGORITHMS, GatheringAlgorithm
 from ..geometry import kernels
 from ..sim import (
@@ -254,56 +269,95 @@ def _call_pinned(fn: Callable, backend_name: str, item):
 
 
 @contextmanager
-def executor(workers: Optional[int]) -> Iterator[Optional[ProcessPoolExecutor]]:
+def executor(
+    workers: Optional[int], policy: Optional[RunPolicy] = None
+) -> Iterator[Optional[ResilientExecutor]]:
     """Shared worker pool for a series of batches (``None`` = sequential).
 
     Creating a process pool costs real time, so experiments that call
     :func:`run_batch` per matrix cell open one pool here and thread it
-    through every call.  The initializer pins the parent's kernel
-    backend choice (state + ``REPRO_BACKEND``) so worker processes
-    compute on the same backend even on spawn-start platforms and even
-    when it was selected via :func:`repro.geometry.kernels.set_backend`
-    rather than the environment variable.  :func:`parallel_map`
-    additionally re-pins per call, so a backend switch between batches
-    (as in the differential checker) reaches workers created earlier.
+    through every call.  The yielded object is a
+    :class:`~repro.resilience.ResilientExecutor`: it rebuilds its
+    underlying pool transparently when a worker dies or hangs, and its
+    teardown cancels queued futures so Ctrl-C never hangs behind a full
+    queue.  The initializer pins the parent's kernel backend choice
+    (state + ``REPRO_BACKEND``) so worker processes compute on the same
+    backend even on spawn-start platforms and even when it was selected
+    via :func:`repro.geometry.kernels.set_backend` rather than the
+    environment variable.  :func:`parallel_map` additionally re-pins per
+    call, so a backend switch between batches (as in the differential
+    checker) reaches workers created earlier.
     """
     if not workers or workers <= 1:
         yield None
         return
-    pool = ProcessPoolExecutor(
-        max_workers=workers,
+    pool = ResilientExecutor(
+        workers,
+        policy=policy,
         initializer=_pin_backend,
         initargs=(kernels.get_backend(),),
     )
     try:
         yield pool
     finally:
-        pool.shutdown()
+        pool.shutdown(cancel=True)
 
 
 def parallel_map(
     fn: Callable,
     items: Sequence,
     workers: Optional[int] = None,
-    pool: Optional[ProcessPoolExecutor] = None,
+    pool: Optional[ResilientExecutor] = None,
+    *,
+    policy: Optional[RunPolicy] = None,
+    chaos: Optional[ChaosPolicy] = None,
+    keys: Optional[Sequence[str]] = None,
+    on_result: Optional[Callable[[int, object], None]] = None,
 ) -> List:
     """``[fn(x) for x in items]``, optionally across worker processes.
 
     Results come back in input order regardless of completion order, so
     parallel execution is a pure wall-clock optimization: every item is
     computed by a deterministic function of its own arguments, and the
-    returned list is bit-identical to the sequential one.  The backend
-    active in the calling process at call time is pinned around every
-    worker-side invocation, so long-lived pools never compute on a
-    backend the caller has since switched away from.
+    returned list is bit-identical to the sequential one — including
+    under retries, timeouts and pool rebuilds (``policy``) and injected
+    chaos faults (``chaos``, default: parsed from ``REPRO_CHAOS``).
+    The backend active in the calling process at call time is pinned
+    around every worker-side invocation, so long-lived pools never
+    compute on a backend the caller has since switched away from.
+
+    ``on_result(index, value)`` fires as items complete (completion
+    order) — the checkpoint journal of :func:`run_batch` hangs off it.
+    A plain legacy :class:`concurrent.futures.ProcessPoolExecutor` is
+    still accepted as ``pool`` and used via ``pool.map`` (no resilience).
     """
     items = list(items)
     call = partial(_call_pinned, fn, kernels.get_backend())
-    if pool is not None:
+    if chaos is None:
+        chaos = ChaosPolicy.from_env()
+    if isinstance(pool, ProcessPoolExecutor):
         return list(pool.map(call, items))
+    if isinstance(pool, ResilientExecutor):
+        return pool.map_resilient(
+            call, items, keys=keys, chaos=chaos, on_result=on_result,
+            policy=policy,
+        )
     if workers and workers > 1 and len(items) > 1:
-        with executor(workers) as p:
-            return list(p.map(call, items))
+        with executor(workers, policy=policy) as shared:
+            return shared.map_resilient(
+                call, items, keys=keys, chaos=chaos, on_result=on_result,
+                policy=policy,
+            )
+    if policy is not None or on_result is not None or (
+        chaos is not None and chaos.enabled
+    ):
+        # Serial but resilient: same retry/chaos/checkpoint machinery,
+        # no process pool (chaos kills become in-process exceptions).
+        serial = ResilientExecutor(None, policy=policy)
+        return serial.map_resilient(
+            call, items, keys=keys, chaos=chaos, on_result=on_result,
+            policy=policy,
+        )
     return [fn(x) for x in items]
 
 
@@ -316,26 +370,74 @@ def run_batch(
     scenario: Scenario,
     seeds: Sequence[int],
     workers: Optional[int] = None,
-    pool: Optional[ProcessPoolExecutor] = None,
+    pool: Optional[ResilientExecutor] = None,
     archive_dir: Optional[str] = None,
     archive_if: Optional[Callable[[SimulationResult], bool]] = None,
+    *,
+    policy: Optional[RunPolicy] = None,
+    chaos: Optional[ChaosPolicy] = None,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
 ) -> List[SimulationResult]:
     """Run a scenario over a seed range (optionally in parallel).
 
     Each seed is an independent deterministic simulation, so sharding by
-    seed across processes preserves the exact sequential results.
+    seed across processes preserves the exact sequential results —
+    including under the resilience machinery: ``policy`` configures
+    per-seed timeouts, bounded retries with backoff, and pool-rebuild
+    limits; ``chaos`` (default: ``REPRO_CHAOS``) injects deterministic
+    faults for the chaos suite.
+
+    ``journal_path`` turns on crash-safe checkpointing: every completed
+    seed is appended (fsynced) to a ``repro-sweep-v1`` JSONL journal the
+    moment it finishes, and with ``resume=True`` seeds already in the
+    journal are *not* re-run — their recorded results (bit-identical by
+    float64 round-trip) are returned in place.  A sweep killed at any
+    point therefore resumes from its last checkpoint.
 
     ``archive_dir`` (or the ``REPRO_ARCHIVE_DIR`` environment variable)
     turns on failure archiving: every seed whose result satisfies
     ``archive_if`` (default: did not gather and was not a detected
     impossibility) is re-simulated with trace recording — bit-identical
-    to the sweep run, by determinism — and written to the directory as a
-    self-describing trace JSON that ``repro check --replay`` accepts.
-    The archived corpus is what CI replays on both backends.
+    to the sweep run, by determinism — and written atomically to the
+    directory as a self-describing trace JSON that ``repro check
+    --replay`` accepts.  The archived corpus is what CI replays on both
+    backends.
     """
-    results = parallel_map(
-        partial(run_scenario, scenario), seeds, workers=workers, pool=pool
-    )
+    seeds = list(seeds)
+    completed: Dict[int, SimulationResult] = {}
+    journal: Optional[SweepJournal] = None
+    if journal_path:
+        journal = SweepJournal.open(
+            journal_path, scenario.to_dict(), resume=resume
+        )
+        completed = journal.completed() if resume else {}
+    todo = [seed for seed in seeds if seed not in completed]
+    label = scenario.label()
+
+    def checkpoint(index: int, result: SimulationResult) -> None:
+        if journal is not None:
+            journal.append(todo[index], result)
+
+    try:
+        fresh = parallel_map(
+            partial(run_scenario, scenario),
+            todo,
+            workers=workers,
+            pool=pool,
+            policy=policy,
+            chaos=chaos,
+            keys=[f"{label}#seed{seed}" for seed in todo],
+            on_result=checkpoint,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+
+    by_seed = dict(completed)
+    by_seed.update(zip(todo, fresh))
+    results = [by_seed[seed] for seed in seeds]
+
     archive_dir = archive_dir or os.environ.get("REPRO_ARCHIVE_DIR")
     if archive_dir:
         should_archive = archive_if or (
@@ -345,11 +447,9 @@ def run_batch(
             if not should_archive(result):
                 continue
             replayed = run_scenario(scenario, seed, record_trace=True)
-            os.makedirs(archive_dir, exist_ok=True)
             path = os.path.join(
                 archive_dir,
                 f"{_archive_slug(scenario.label())}-seed{seed}.json",
             )
-            with open(path, "w", encoding="utf-8") as handle:
-                handle.write(replayed.trace.to_json(indent=2))
+            atomic_write(path, replayed.trace.to_json(indent=2))
     return results

@@ -12,6 +12,13 @@ The JSONL layout mirrors the trace archive's self-description principle:
 
 Python floats serialize via ``repr``, which round-trips float64 exactly,
 so spreads and target coordinates survive the archive bit for bit.
+
+Crash safety: the sink streams into ``<path>.partial`` and atomically
+renames it to ``path`` on :meth:`JsonlSink.close` (after an fsync), so
+a finished stream is always whole — a run killed mid-stream leaves only
+the ``.partial`` file (whose eagerly-written header still identifies
+it), never a truncated artifact at the final path where corpus globs
+would pick it up.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, TextIO, Tuple
 
+from ..resilience import TraceFormatError, fsync_handle, promote
 from .events import OBS_SCHEMA, RoundEvent
 
 __all__ = ["Collector", "JsonlSink", "read_events"]
@@ -49,15 +57,20 @@ class JsonlSink:
     """Streaming JSONL writer for round events and run-end summaries.
 
     The header line is written eagerly on construction so even a stream
-    cut short mid-run identifies itself and its provenance.  ``write``
-    and ``write_run_end`` match the ``on_round`` / ``on_run_end`` hook
-    signatures, so a sink registers directly.
+    cut short mid-run identifies itself and its provenance (in the
+    ``.partial`` file — see the module docstring for the atomic-rename
+    crash-safety contract).  ``write`` and ``write_run_end`` match the
+    ``on_round`` / ``on_run_end`` hook signatures, so a sink registers
+    directly.
     """
 
     def __init__(self, path: str, meta: Optional[dict] = None) -> None:
         self.path = path
         self.meta = meta
-        self._handle: Optional[TextIO] = open(path, "w", encoding="utf-8")
+        self._partial_path = path + ".partial"
+        self._handle: Optional[TextIO] = open(
+            self._partial_path, "w", encoding="utf-8"
+        )
         self._write_line({"format": OBS_SCHEMA, "meta": meta})
 
     def _write_line(self, payload: dict) -> None:
@@ -74,8 +87,10 @@ class JsonlSink:
 
     def close(self) -> None:
         if self._handle is not None:
+            fsync_handle(self._handle)
             self._handle.close()
             self._handle = None
+            promote(self._partial_path, self.path)
 
     def __enter__(self) -> "JsonlSink":
         return self
@@ -90,10 +105,17 @@ def read_events(
     """Read a JSONL event stream: ``(meta, events, run_end_summaries)``.
 
     Raises :class:`ValueError` on a missing or foreign header so stale
-    or truncated-at-birth files fail loudly.
+    or truncated-at-birth files fail loudly, and
+    :class:`~repro.resilience.errors.TraceFormatError` — carrying the
+    path and 1-based line number — on any undecodable or malformed
+    payload line, so a corrupted stream is *reported* rather than
+    silently skipped over.
     """
     with open(path, "r", encoding="utf-8") as handle:
-        header_line = handle.readline()
+        try:
+            header_line = handle.readline()
+        except UnicodeDecodeError:
+            raise ValueError(f"{path!r} is not a {OBS_SCHEMA} event stream")
         try:
             header = json.loads(header_line) if header_line.strip() else None
         except json.JSONDecodeError:
@@ -102,12 +124,48 @@ def read_events(
             raise ValueError(f"{path!r} is not a {OBS_SCHEMA} event stream")
         events: List[RoundEvent] = []
         run_ends: List[dict] = []
-        for line in handle:
+        line_no = 1
+        while True:
+            line_no += 1
+            try:
+                line = handle.readline()
+            except UnicodeDecodeError as exc:
+                raise TraceFormatError(
+                    f"{path}: undecodable event line {line_no}: binary "
+                    f"garbage at byte {exc.start}",
+                    path=path,
+                    line=line_no,
+                    offset=exc.start,
+                ) from exc
+            if not line:
+                break
             if not line.strip():
                 continue
-            payload = json.loads(line)
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    f"{path}: undecodable event line {line_no}: {exc.msg} "
+                    f"(stream truncated or corrupted)",
+                    path=path,
+                    line=line_no,
+                    offset=exc.pos,
+                ) from exc
+            if not isinstance(payload, dict):
+                raise TraceFormatError(
+                    f"{path}: event line {line_no} is not an object",
+                    path=path,
+                    line=line_no,
+                )
             if "run_end" in payload:
                 run_ends.append(payload["run_end"])
             else:
-                events.append(RoundEvent.from_dict(payload))
+                try:
+                    events.append(RoundEvent.from_dict(payload))
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise TraceFormatError(
+                        f"{path}: malformed event line {line_no}: {exc}",
+                        path=path,
+                        line=line_no,
+                    ) from exc
     return header.get("meta"), events, run_ends

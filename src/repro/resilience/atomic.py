@@ -1,0 +1,58 @@
+"""Crash-safe file writes: temp file + fsync + atomic rename.
+
+A plain ``open(path, "w")`` interrupted mid-write leaves a truncated
+file *at the final path* — which later poisons every consumer that
+globs for it (``repro check --corpus`` over a half-written archive, the
+bench regression guard over a torn history).  Every one-shot document
+the harness writes (trace archives, bench history, obs streams) goes
+through here instead: the content lands at the destination either whole
+or not at all.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["atomic_write", "fsync_handle", "promote"]
+
+
+def fsync_handle(handle) -> None:
+    """Flush python and OS buffers of an open file handle to disk."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def promote(tmp_path: str, final_path: str) -> None:
+    """Atomically move a fully-written temp file into its final place.
+
+    ``os.replace`` is atomic on POSIX and Windows when source and
+    destination share a filesystem — which they do, because every
+    caller creates the temp file next to the destination.
+    """
+    os.replace(tmp_path, final_path)
+
+
+def atomic_write(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (temp file + fsync + rename).
+
+    Creates the parent directory if needed.  On any failure the partial
+    temp file is removed; the destination is never left truncated —
+    either the old content survives or the new content is complete.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            fsync_handle(handle)
+        promote(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,107 @@
+"""Structured error taxonomy of the reproduction tooling.
+
+Everything the harness can fail with derives from :class:`ReproError`,
+so the CLI has exactly one catch site: it prints the message and exits
+with the error's ``exit_code`` — a user (or CI log) always sees a
+structured one-liner, never a traceback, for anticipated failure modes
+(corrupted archives, crashed workers, hung seeds).
+
+The hierarchy deliberately multiple-inherits from the closest builtin:
+:class:`TraceFormatError` *is a* :class:`ValueError` and
+:class:`SeedTimeoutError` *is a* :class:`TimeoutError`, so pre-existing
+callers (and tests) that catch the builtin keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ReproError",
+    "WorkerCrashError",
+    "SeedTimeoutError",
+    "ChaosInjectedError",
+    "TraceFormatError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every structured harness error.
+
+    ``exit_code`` is what the CLI returns when the error escapes a
+    subcommand; subclasses override it where a different code is
+    conventional (2 for bad input data, matching argparse usage errors).
+    """
+
+    exit_code = 1
+
+
+class WorkerCrashError(ReproError):
+    """A worker process died (or kept raising) and the retry budget for
+    one or more items is exhausted.
+
+    Raised *after* every other item has been driven to completion — a
+    crashing seed never blocks the rest of the sweep (wait-freedom).
+    ``failures`` maps item keys to the final exception per failed item.
+    """
+
+    def __init__(self, message: str, failures: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.failures = failures or {}
+
+
+class SeedTimeoutError(ReproError, TimeoutError):
+    """An attempt exceeded its wall-clock timeout and the retry budget
+    is exhausted (also used per-attempt internally before aggregation).
+
+    Like :class:`WorkerCrashError` this surfaces only after the rest of
+    the batch finished; ``failures`` maps item keys to final errors.
+    """
+
+    def __init__(self, message: str, failures: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.failures = failures or {}
+
+
+class ChaosInjectedError(ReproError):
+    """The deterministic fault the chaos harness injects.
+
+    Never raised in production runs — only when ``REPRO_CHAOS`` (or an
+    explicit :class:`~repro.resilience.chaos.ChaosPolicy`) is active.
+    Distinct from real errors so a chaos test can assert that every
+    failure it saw was one it injected.
+    """
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A trace / bench / obs / journal file failed to parse.
+
+    Carries the offending ``path`` plus, when known, the 1-based
+    ``line`` and character ``offset`` of the corruption, so "repro
+    check --corpus" failures point at the byte that poisoned them.
+    """
+
+    exit_code = 2
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[str] = None,
+        line: Optional[int] = None,
+        offset: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.line = line
+        self.offset = offset
+
+    def __reduce__(self):
+        # Keyword-only attributes break the default Exception pickling;
+        # errors must survive a trip back from a worker process.
+        return (_rebuild_trace_format_error,
+                (str(self), self.path, self.line, self.offset))
+
+
+def _rebuild_trace_format_error(message, path, line, offset):
+    return TraceFormatError(message, path=path, line=line, offset=offset)

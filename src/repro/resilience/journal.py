@@ -1,0 +1,237 @@
+"""Crash-safe sweep checkpointing — the ``repro-sweep-v1`` journal.
+
+A sweep journal is append-only JSONL:
+
+* line 1 — header: ``{"format": "repro-sweep-v1", "scenario": {...}}``
+  where ``scenario`` is the canonical dict of the swept
+  :class:`~repro.experiments.runner.Scenario`;
+* one line per completed seed: ``{"seed": s, "result": {...}}`` with the
+  full serialized :class:`~repro.sim.engine.SimulationResult` (floats
+  via ``repr`` — float64 round-trips exactly, so a resumed result is
+  bit-identical to the one the killed sweep computed).
+
+Every append is flushed and fsynced before the runner considers the
+seed checkpointed, so a SIGKILL can lose at most the entry being
+written.  On resume the loader tolerates exactly that: a torn *final*
+line (no trailing newline, or undecodable) is truncated away; a
+malformed *interior* line means real corruption and raises
+:class:`~repro.resilience.errors.TraceFormatError`.
+
+Resuming validates the header scenario against the sweep's scenario —
+a journal never silently continues a different experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, TextIO
+
+from .atomic import fsync_handle
+from .errors import TraceFormatError
+
+__all__ = ["SweepJournal", "JOURNAL_SCHEMA", "result_to_dict", "result_from_dict"]
+
+#: Schema identifier of the journal header line.
+JOURNAL_SCHEMA = "repro-sweep-v1"
+
+
+def result_to_dict(result) -> dict:
+    """Serialize a :class:`~repro.sim.engine.SimulationResult` (sans
+    trace — sweeps never record traces) to a JSON-ready dict."""
+    return {
+        "verdict": result.verdict,
+        "rounds": result.rounds,
+        "final_positions": [
+            [rid, p.x, p.y] for rid, p in sorted(result.final_positions.items())
+        ],
+        "live_ids": list(result.live_ids),
+        "crashed_ids": list(result.crashed_ids),
+        "gathering_point": (
+            [result.gathering_point.x, result.gathering_point.y]
+            if result.gathering_point is not None
+            else None
+        ),
+        "total_distance": result.total_distance,
+        "initial_class": result.initial_class.value,
+        "classes_seen": [c.value for c in result.classes_seen],
+    }
+
+
+def result_from_dict(data: dict, *, source: str = "<journal>"):
+    """Inverse of :func:`result_to_dict` (``trace`` is always ``None``)."""
+    # Deferred imports: repro.sim.trace imports this package's errors at
+    # module level, so importing the engine here at import time would
+    # create a cycle through repro/resilience/__init__.
+    from ..core import ConfigClass
+    from ..geometry import Point
+    from ..sim.engine import SimulationResult
+
+    try:
+        return SimulationResult(
+            verdict=data["verdict"],
+            rounds=data["rounds"],
+            final_positions={
+                int(rid): Point(x, y) for rid, x, y in data["final_positions"]
+            },
+            live_ids=tuple(data["live_ids"]),
+            crashed_ids=tuple(data["crashed_ids"]),
+            gathering_point=(
+                Point(*data["gathering_point"])
+                if data["gathering_point"] is not None
+                else None
+            ),
+            total_distance=data["total_distance"],
+            trace=None,
+            initial_class=ConfigClass(data["initial_class"]),
+            classes_seen=tuple(ConfigClass(v) for v in data["classes_seen"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceFormatError(
+            f"{source}: malformed result record: {exc}", path=source
+        ) from exc
+
+
+class SweepJournal:
+    """Append-only checkpoint journal of completed ``(scenario, seed)``
+    results; see the module docstring for format and crash semantics."""
+
+    def __init__(self, path: str, scenario: dict) -> None:
+        self.path = path
+        self.scenario = scenario
+        self._completed: Dict[int, object] = {}
+        self._handle: Optional[TextIO] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: str, scenario: dict, resume: bool = False) -> "SweepJournal":
+        """Open a journal for writing.
+
+        ``resume=True`` with an existing file loads its completed
+        results (validating the header scenario), truncates any torn
+        tail, and appends from there.  Otherwise a fresh journal is
+        started (truncating whatever was at ``path``).
+        """
+        journal = cls(path, scenario)
+        if resume and os.path.exists(path):
+            completed, valid_end = _parse(path, expected_scenario=scenario)
+            journal._completed = completed
+            if valid_end < os.path.getsize(path):
+                with open(path, "r+", encoding="utf-8") as handle:
+                    handle.truncate(valid_end)
+            journal._handle = open(path, "a", encoding="utf-8")
+        else:
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+            journal._handle = open(path, "w", encoding="utf-8")
+            journal._write_line({"format": JOURNAL_SCHEMA, "scenario": scenario})
+        return journal
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reads -------------------------------------------------------------
+
+    def completed(self) -> Dict[int, object]:
+        """Seed -> deserialized result for every checkpointed seed."""
+        return dict(self._completed)
+
+    @classmethod
+    def peek(cls, path: str, scenario: Optional[dict] = None) -> Dict[int, object]:
+        """Read a journal's completed results without opening it for
+        writing (scenario validation only when ``scenario`` is given)."""
+        completed, _ = _parse(path, expected_scenario=scenario)
+        return completed
+
+    # -- writes ------------------------------------------------------------
+
+    def _write_line(self, payload: dict) -> None:
+        if self._handle is None:
+            raise ValueError(f"journal {self.path!r} is closed")
+        self._handle.write(json.dumps(payload) + "\n")
+        fsync_handle(self._handle)
+
+    def append(self, seed: int, result) -> None:
+        """Checkpoint one completed seed (flushed + fsynced on return)."""
+        self._write_line({"seed": seed, "result": result_to_dict(result)})
+        self._completed[seed] = result
+
+
+def _parse(path: str, expected_scenario: Optional[dict] = None):
+    """Parse a journal file -> ``(completed, valid_end_offset)``.
+
+    ``valid_end_offset`` is the byte offset just past the last fully
+    valid line; the caller truncates to it before appending so a torn
+    tail can never corrupt the line that follows it.
+    """
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    lines = raw.split(b"\n")
+    # The final chunk is either empty (file ends with a newline) or a
+    # torn line from an interrupted write; both are excluded from the
+    # complete chunks, and only the torn case is remembered.
+    chunks = lines[:-1]
+    torn_tail = lines[-1] if lines[-1] else None
+
+    if not chunks:
+        raise TraceFormatError(
+            f"{path}: empty or torn journal (no complete header line)",
+            path=path,
+            line=1,
+        )
+
+    try:
+        header = json.loads(chunks[0].decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise TraceFormatError(
+            f"{path}: undecodable journal header: {exc}", path=path, line=1
+        ) from exc
+    if not isinstance(header, dict) or header.get("format") != JOURNAL_SCHEMA:
+        raise TraceFormatError(
+            f"{path}: not a {JOURNAL_SCHEMA} journal "
+            f"(format={header.get('format') if isinstance(header, dict) else header!r})",
+            path=path,
+            line=1,
+        )
+    if expected_scenario is not None and header.get("scenario") != expected_scenario:
+        raise TraceFormatError(
+            f"{path}: journal records a different scenario; refusing to "
+            f"resume (journaled: {header.get('scenario')!r})",
+            path=path,
+        )
+
+    completed: Dict[int, object] = {}
+    offset = len(chunks[0]) + 1
+    for line_no, chunk in enumerate(chunks[1:], start=2):
+        is_last_complete_line = line_no == len(chunks) and torn_tail is None
+        try:
+            entry = json.loads(chunk.decode("utf-8"))
+            seed = entry["seed"]
+            result = result_from_dict(
+                entry["result"], source=f"{path}:{line_no}"
+            )
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError,
+                TraceFormatError) as exc:
+            if is_last_complete_line and isinstance(
+                exc, (json.JSONDecodeError, UnicodeDecodeError)
+            ):
+                # A torn final write that happened to end at a newline
+                # boundary of the partial buffer: drop it like any tail.
+                return completed, offset
+            raise TraceFormatError(
+                f"{path}: corrupted journal entry at line {line_no}: {exc}",
+                path=path,
+                line=line_no,
+            ) from exc
+        completed[seed] = result
+        offset += len(chunk) + 1
+    return completed, offset

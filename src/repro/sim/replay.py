@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..geometry import kernels
+from ..resilience import TraceFormatError, atomic_write
 from .trace import Trace, RoundRecord, TraceMeta
 
 __all__ = [
@@ -129,17 +130,37 @@ class DiffReport:
 
 
 def load_trace(path: str) -> Trace:
-    """Read an archived trace (v1 or v2) from ``path``."""
-    with open(path, "r", encoding="utf-8") as handle:
-        return Trace.from_json(handle.read())
+    """Read an archived trace (v1 or v2) from ``path``.
+
+    Corruption (truncated or garbage JSON, malformed records, foreign
+    headers) raises :class:`~repro.resilience.errors.TraceFormatError`
+    carrying the path and, for syntax errors, the line/offset.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise TraceFormatError(
+            f"{path}: cannot read trace: {exc}", path=path
+        ) from exc
+    except UnicodeDecodeError as exc:
+        raise TraceFormatError(
+            f"{path}: not a text file (binary garbage at byte "
+            f"{exc.start})",
+            path=path,
+            offset=exc.start,
+        ) from exc
+    return Trace.from_json(text, source=path)
 
 
 def save_trace(trace: Trace, path: str, indent: Optional[int] = 2) -> None:
-    """Write ``trace`` to ``path`` in the current (v2) schema."""
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(trace.to_json(indent=indent))
+    """Write ``trace`` to ``path`` atomically in the current (v2) schema.
+
+    The write goes through :func:`~repro.resilience.atomic.atomic_write`
+    (temp file + fsync + rename), so an interrupt can never leave a
+    truncated archive that would later poison ``repro check --corpus``.
+    """
+    atomic_write(path, trace.to_json(indent=indent))
 
 
 # -- replay ------------------------------------------------------------------

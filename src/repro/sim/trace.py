@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core import ConfigClass, Configuration
 from ..geometry import DEFAULT_TOLERANCE, Point, Tolerance, kernels
+from ..resilience.errors import TraceFormatError
 
 __all__ = ["RoundRecord", "Trace", "TraceMeta", "SCHEMA_V1", "SCHEMA_V2"]
 
@@ -256,24 +257,55 @@ class Trace:
         )
 
     @classmethod
-    def from_json(cls, text: str) -> "Trace":
+    def from_json(cls, text: str, source: str = "<trace>") -> "Trace":
         """Inverse of :meth:`to_json`; also reads v1 archives.
 
-        Raises :class:`ValueError` on an unrecognized payload so stale
-        archives fail loudly rather than half-load.
+        Raises :class:`~repro.resilience.errors.TraceFormatError` (a
+        :class:`ValueError`) on any unrecognized or corrupted payload —
+        carrying ``source`` plus the line/offset of a JSON syntax error
+        — so a stale or truncated archive fails loudly and points at
+        the byte that poisoned it rather than half-loading.
         """
-        data = json.loads(text)
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"{source}: invalid trace JSON at line {exc.lineno} "
+                f"column {exc.colno}: {exc.msg}",
+                path=source,
+                line=exc.lineno,
+                offset=exc.pos,
+            ) from exc
         if not isinstance(data, dict) or data.get("format") not in (
             SCHEMA_V1,
             SCHEMA_V2,
         ):
-            raise ValueError(
-                f"not a {SCHEMA_V1}/{SCHEMA_V2} payload"
+            found = data.get("format") if isinstance(data, dict) else type(data).__name__
+            raise TraceFormatError(
+                f"{source}: not a {SCHEMA_V1}/{SCHEMA_V2} payload "
+                f"(format={found!r})",
+                path=source,
             )
         meta_data = data.get("meta")
-        meta = TraceMeta.from_dict(meta_data) if meta_data else None
+        try:
+            meta = TraceMeta.from_dict(meta_data) if meta_data else None
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceFormatError(
+                f"{source}: malformed trace meta block: {exc}", path=source
+            ) from exc
         tol = meta.tol() if meta is not None else DEFAULT_TOLERANCE
         trace = cls(meta=meta)
-        for record in data["records"]:
-            trace.append(RoundRecord.from_dict(record, tol))
+        records = data.get("records")
+        if not isinstance(records, list):
+            raise TraceFormatError(
+                f"{source}: trace payload has no records array", path=source
+            )
+        for index, record in enumerate(records):
+            try:
+                trace.append(RoundRecord.from_dict(record, tol))
+            except (KeyError, TypeError, ValueError, AttributeError) as exc:
+                raise TraceFormatError(
+                    f"{source}: malformed round record {index}: {exc}",
+                    path=source,
+                ) from exc
         return trace

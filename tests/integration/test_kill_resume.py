@@ -1,0 +1,136 @@
+"""SIGKILL a sweep mid-flight, resume it, and require bitwise identity.
+
+The hard end-to-end guarantee of the resilience layer: a sweep process
+killed with SIGKILL (no cleanup handlers, possibly a torn journal line)
+must resume from its checkpoint journal, skip the completed seeds, and
+finish with a result set bit-identical to a clean sequential run.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.experiments.runner import Scenario, run_batch
+from repro.resilience import ChaosPolicy, SweepJournal
+
+SCENARIO = Scenario(
+    workload="asymmetric",
+    n=6,
+    f=1,
+    scheduler="round-robin",
+    crashes="after-move",
+    movement="rigid",
+    max_rounds=2_000,
+)
+
+N_SEEDS = 8
+
+SWEEP_ARGS = [
+    "sweep",
+    "--workload", "asymmetric", "--n", "6", "--f", "1",
+    "--scheduler", "round-robin", "--crashes", "after-move",
+    "--movement", "rigid", "--max-rounds", "2000",
+    "--seeds", str(N_SEEDS),
+]
+
+
+def _env(**extra):
+    repo_src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env = dict(os.environ)
+    env.pop("REPRO_CHAOS", None)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = os.path.abspath(repo_src) + (
+        os.pathsep + existing if existing else ""
+    )
+    env.update(extra)
+    return env
+
+
+def _journal_entries(path):
+    """Seeds of the complete (newline-terminated) journal entry lines."""
+    if not os.path.exists(path):
+        return []
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    complete = raw[: raw.rfind(b"\n") + 1]
+    lines = [line for line in complete.split(b"\n") if line]
+    return [json.loads(line)["seed"] for line in lines[1:]]
+
+
+class TestKillResume:
+    def test_sigkilled_sweep_resumes_bit_identically(self, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+
+        # Phase 1: start the sweep with a chaos delay slowing every seed
+        # (~0.6s each), wait until at least two seeds are checkpointed,
+        # then SIGKILL the process — no atexit, no finally blocks.
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *SWEEP_ARGS, "--journal", journal],
+            env=_env(REPRO_CHAOS="seed=1,delay=1.0,delay_s=0.6"),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            while len(_journal_entries(journal)) < 2:
+                if proc.poll() is not None or time.monotonic() > deadline:
+                    break
+                time.sleep(0.02)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup
+                proc.kill()
+                proc.wait(timeout=30)
+
+        before = _journal_entries(journal)
+        assert before, "no seed was checkpointed before the kill"
+        assert len(before) < N_SEEDS, (
+            "sweep finished before it could be killed; the chaos delay "
+            "should have made that impossible"
+        )
+        with open(journal, "rb") as handle:
+            raw_before = handle.read()
+        valid_prefix = raw_before[: raw_before.rfind(b"\n") + 1]
+
+        # Phase 2: resume without chaos.  Completed seeds must be
+        # skipped (their bytes survive verbatim), the rest computed.
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro", *SWEEP_ARGS,
+                "--journal", journal, "--resume",
+            ],
+            env=_env(),
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert f"resumed    : {len(before)} seed(s)" in completed.stdout
+
+        # The journaled prefix survived byte for byte: resuming never
+        # re-ran or rewrote a completed seed.
+        with open(journal, "rb") as handle:
+            raw_after = handle.read()
+        assert raw_after.startswith(valid_prefix)
+        assert _journal_entries(journal) == list(range(N_SEEDS))
+
+        # Phase 3: the recovered result set is bit-identical to a clean
+        # in-process sequential run.
+        baseline = run_batch(SCENARIO, range(N_SEEDS), chaos=ChaosPolicy())
+        recovered = SweepJournal.peek(journal, SCENARIO.to_dict())
+        for seed, expected in zip(range(N_SEEDS), baseline):
+            got = recovered[seed]
+            assert got.verdict == expected.verdict
+            assert got.rounds == expected.rounds
+            assert got.final_positions == expected.final_positions
+            assert got.live_ids == expected.live_ids
+            assert got.crashed_ids == expected.crashed_ids
+            assert got.gathering_point == expected.gathering_point
+            assert got.total_distance == expected.total_distance
+            assert got.classes_seen == expected.classes_seen

@@ -1,0 +1,43 @@
+"""Atomic file placement: temp file + fsync + rename."""
+
+import os
+
+import pytest
+
+from repro.resilience import atomic_write
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write(path, '{"a": 1}\n')
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read() == '{"a": 1}\n'
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write(path, "old")
+        atomic_write(path, "new")
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read() == "new"
+
+    def test_creates_missing_parent_directories(self, tmp_path):
+        path = str(tmp_path / "a" / "b" / "out.json")
+        atomic_write(path, "x")
+        assert os.path.exists(path)
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write(path, "x")
+        assert sorted(os.listdir(tmp_path)) == ["out.json"]
+
+    def test_failure_leaves_target_untouched_and_no_droppings(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write(path, "original")
+        # A payload the text handle rejects fails mid-write: the original
+        # file must survive and the temp file must be cleaned up.
+        with pytest.raises(TypeError):
+            atomic_write(path, b"bytes are not text")  # type: ignore[arg-type]
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read() == "original"
+        assert sorted(os.listdir(tmp_path)) == ["out.json"]
