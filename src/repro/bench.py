@@ -59,6 +59,7 @@ __all__ = [
     "run_bench",
     "write_bench",
     "load_history",
+    "check_regressions",
     "DEFAULT_SIZES",
     "QUICK_SIZES",
 ]
@@ -262,6 +263,86 @@ def load_history(path: str) -> Dict:
         f"(schema={schema!r})",
         path=path,
     )
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def check_regressions(
+    history: Dict,
+    document: Dict,
+    threshold: float = 0.25,
+    window: int = 5,
+) -> List[Dict]:
+    """Regression gate: ``document`` against the recent history.
+
+    For every benchmark key — ``(name, backend, n)`` of a micro
+    benchmark (``best_s``) and ``(backend, n)`` of a round-throughput
+    measurement (``round_s``) — the baseline is the **median over the
+    last ``window`` history runs** that measured that key.  The median
+    (not the best or the mean) absorbs the odd noisy run without
+    letting a slow drift hide; keys the history never measured are
+    skipped, so shrinking or growing the size matrix cannot fail the
+    gate spuriously.
+
+    Returns one dict per regression (``current > baseline * (1 +
+    threshold)``): metric, key, current/baseline seconds, ratio, and
+    the number of history samples behind the baseline.  Empty list =
+    gate passes.  ``repro bench --check`` exits non-zero on a
+    non-empty return.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    recent = [
+        run.get("document") or {} for run in history.get("runs", [])[-window:]
+    ]
+
+    micro_samples: Dict[tuple, List[float]] = {}
+    round_samples: Dict[tuple, List[float]] = {}
+    for doc in recent:
+        for entry in doc.get("micro", []):
+            key = (entry["name"], entry["backend"], entry["n"])
+            micro_samples.setdefault(key, []).append(entry["best_s"])
+        for entry in doc.get("round_throughput", []):
+            key = (entry["backend"], entry["n"])
+            round_samples.setdefault(key, []).append(entry["round_s"])
+
+    regressions: List[Dict] = []
+
+    def gate(metric: str, key: tuple, current: float,
+             samples: Optional[List[float]]) -> None:
+        if not samples:
+            return
+        baseline = _median(samples)
+        if baseline <= 0.0 or current <= baseline * (1.0 + threshold):
+            return
+        regressions.append(
+            {
+                "metric": metric,
+                "key": "/".join(str(part) for part in key),
+                "current_s": current,
+                "baseline_s": baseline,
+                "ratio": current / baseline,
+                "window": len(samples),
+            }
+        )
+
+    for entry in document.get("micro", []):
+        key = (entry["name"], entry["backend"], entry["n"])
+        gate("micro", key, entry["best_s"], micro_samples.get(key))
+    for entry in document.get("round_throughput", []):
+        key = (entry["backend"], entry["n"])
+        gate(
+            "round_throughput", key, entry["round_s"], round_samples.get(key)
+        )
+    return regressions
 
 
 def write_bench(document: Dict, path: str) -> None:

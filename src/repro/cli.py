@@ -38,6 +38,11 @@ Three subcommands:
     Summarize a trace JSON or an observability JSONL event stream as
     tables: per-class round counts, crash/move totals, spread trajectory.
 
+``trace-export``
+    Convert a ``repro-spans-v1`` span stream — or, on a synthetic
+    timeline, an obs event stream or trace archive — to Chrome
+    trace-event JSON that Perfetto / ``chrome://tracing`` open directly.
+
 ``profile``
     Run one scenario with the observability layer on and print the
     profile: per-kernel call counts and wall time, per-class round
@@ -119,6 +124,10 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--obs-jsonl", metavar="PATH", default=None,
                      help="write the round-event stream as JSONL to PATH "
                           "(implies --obs)")
+    sim.add_argument("--spans-jsonl", metavar="PATH", default=None,
+                     help="write the span trace (run/round/phase/kernel) "
+                          "as repro-spans-v1 JSONL to PATH (implies --obs; "
+                          "convert with 'repro trace-export')")
 
     cls = sub.add_parser("classify", help="classify a generated workload")
     cls.add_argument("--workload", default="random", choices=sorted(CLASS_GENERATORS))
@@ -154,6 +163,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timed repetitions per micro benchmark (best-of)")
     bench.add_argument("--sizes", type=int, nargs="+", default=None,
                        metavar="N", help="override the team sizes to measure")
+    bench.add_argument("--check", action="store_true",
+                       help="regression gate: compare this run against the "
+                            "median of the last runs in the history at "
+                            "--output and exit non-zero when a benchmark "
+                            "slowed past --threshold")
+    bench.add_argument("--threshold", type=float, default=0.25,
+                       metavar="FRAC",
+                       help="allowed slowdown over the history median "
+                            "before --check fails (default 0.25 = 25%%)")
+    bench.add_argument("--window", type=int, default=5, metavar="K",
+                       help="history runs the --check baseline median is "
+                            "taken over (default 5)")
 
     hunt = sub.add_parser(
         "hunt",
@@ -285,6 +306,41 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--archive-failures", metavar="DIR", default=None,
                        help="archive a replayable trace JSON into DIR for "
                             "every failing seed")
+    sweep.add_argument("--obs", action="store_true",
+                       help="enable the observability layer: workers ship "
+                            "their per-seed metric deltas and span tails "
+                            "home, the parent merges them and writes the "
+                            "aggregate as sweep-metrics.json")
+    sweep.add_argument("--live", action="store_true",
+                       help="force the live in-place dashboard (implies "
+                            "--obs; default: auto-detected from the TTY)")
+    sweep.add_argument("--metrics", metavar="PATH", default=None,
+                       help="path of the aggregated repro-sweep-metrics-v1 "
+                            "JSON (implies --obs; default with --obs: "
+                            "sweep-metrics.json next to the journal)")
+
+    export = sub.add_parser(
+        "trace-export",
+        help="convert spans / events / traces to Perfetto JSON",
+        description=(
+            "Converts a repro-spans-v1 span stream to the Chrome "
+            "trace-event format (open the output in Perfetto or "
+            "chrome://tracing).  An obs event stream or a trace archive "
+            "is accepted too: their rounds have no recorded wall time, "
+            "so they are laid out on a synthetic timeline (one fixed "
+            "slot per round) that still shows class transitions, "
+            "crashes and movement at a glance."
+        ),
+    )
+    export.add_argument("input",
+                        help="repro-spans-v1 JSONL, repro-obs-v1 JSONL, or "
+                             "repro-trace-v2 trace JSON")
+    export.add_argument("--output", "-o", metavar="PATH", default=None,
+                        help="output path (default: INPUT with a "
+                             ".perfetto.json suffix)")
+    export.add_argument("--pid", type=int, default=0,
+                        help="process id label for the exported track "
+                             "group (default 0)")
 
     stats = sub.add_parser(
         "stats",
@@ -327,6 +383,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "kernels entirely, leaving the kernel table empty)")
     prof.add_argument("--obs-jsonl", metavar="PATH", default=None,
                       help="also write the round-event stream to PATH")
+    prof.add_argument("--spans-jsonl", metavar="PATH", default=None,
+                      help="also write the span trace as repro-spans-v1 "
+                           "JSONL to PATH")
     return parser
 
 
@@ -412,13 +471,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         max_rounds=args.max_rounds,
         engine=args.engine,
     )
-    want_obs = args.obs or bool(args.obs_jsonl)
+    want_obs = args.obs or bool(args.obs_jsonl) or bool(args.spans_jsonl)
     if want_obs:
         obs.metrics.reset()
         with obs.observability(
             jsonl=args.obs_jsonl,
+            spans_jsonl=args.spans_jsonl,
             meta=_scenario_meta(scenario, args.seed, args.seed)
-            if args.obs_jsonl
+            if args.obs_jsonl or args.spans_jsonl
             else None,
         ):
             result = run_scenario(
@@ -460,6 +520,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             print()
         if args.obs_jsonl:
             print(f"event stream saved to {args.obs_jsonl}")
+        if args.spans_jsonl:
+            print(f"span trace saved to {args.spans_jsonl}")
     return 0 if result.gathered or result.verdict == "impossible" else 1
 
 
@@ -517,12 +579,25 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .bench import QUICK_SIZES, run_bench, write_bench
+    from .bench import (
+        QUICK_SIZES,
+        check_regressions,
+        load_history,
+        run_bench,
+        write_bench,
+    )
 
     if args.repeats < 1:
         print("error: --repeats must be >= 1", file=sys.stderr)
         return 2
     sizes = args.sizes if args.sizes else (QUICK_SIZES if args.quick else None)
+    # The baseline is read *before* this run is appended, so the gate
+    # never compares a run against itself.
+    history = (
+        load_history(args.output)
+        if args.check and os.path.exists(args.output)
+        else None
+    )
     document = run_bench(
         sizes=sizes,
         repeats=args.repeats,
@@ -535,6 +610,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"n={entry['n']}: python {entry['python_s']:.3f}s vs "
             f"numpy {entry['numpy_s']:.3f}s per round "
             f"-> {entry['speedup']:.1f}x"
+        )
+    if args.check:
+        if history is None:
+            print(
+                "bench check: no prior history to compare against; "
+                "this run becomes the baseline"
+            )
+            return 0
+        regressions = check_regressions(
+            history,
+            document,
+            threshold=args.threshold,
+            window=args.window,
+        )
+        if regressions:
+            for reg in regressions:
+                print(
+                    f"bench REGRESSION: {reg['metric']} {reg['key']}: "
+                    f"{reg['current_s']:.6f}s vs median "
+                    f"{reg['baseline_s']:.6f}s over last "
+                    f"{reg['window']} run(s) "
+                    f"({reg['ratio']:.2f}x, threshold "
+                    f"{1.0 + args.threshold:.2f}x)",
+                    file=sys.stderr,
+                )
+            print(
+                f"bench check FAILED: {len(regressions)} regression(s)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"bench check ok (no benchmark slowed more than "
+            f"{args.threshold:.0%} over the median of the last "
+            f"{args.window} run(s))"
         )
     return 0
 
@@ -704,6 +813,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         timeout=args.timeout, retries=args.retries, backoff=args.backoff
     )
 
+    want_obs = args.obs or args.live or bool(args.metrics)
+    aggregator = dashboard = None
+    metrics_path = None
+    on_seed = on_failure = None
+    if want_obs:
+        from . import obs
+
+        # enable() exports REPRO_OBS=1, so pool workers (spawned below)
+        # come up instrumented and attach per-seed payloads to results.
+        obs.metrics.reset()
+        obs.enable()
+        aggregator = obs.Aggregator(total_seeds=len(seeds))
+        dashboard = obs.SweepDashboard(
+            aggregator, live=True if args.live else None
+        )
+        metrics_dir = (
+            os.path.dirname(args.journal) or "." if args.journal else "."
+        )
+        metrics_path = args.metrics or os.path.join(
+            metrics_dir, "sweep-metrics.json"
+        )
+
+        def on_seed(seed: int, result) -> None:
+            aggregator.seed_done(seed, result)
+            dashboard.update()
+
+        def on_failure(key: str, exc: BaseException, strike: bool) -> None:
+            aggregator.failure(key, exc, strike)
+            dashboard.update()
+
     print(f"sweep      : {scenario.label()}")
     print(f"seeds      : {seeds[0]}..{seeds[-1]} ({len(seeds)} seeds)")
     if args.journal:
@@ -711,16 +850,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if resumed:
         print(f"resumed    : {resumed} seed(s) already journaled, skipped")
     start = time.perf_counter()
-    results = run_batch(
-        scenario,
-        seeds,
-        workers=args.workers,
-        archive_dir=args.archive_failures,
-        policy=policy,
-        journal_path=args.journal,
-        resume=args.resume,
-    )
+    try:
+        results = run_batch(
+            scenario,
+            seeds,
+            workers=args.workers,
+            archive_dir=args.archive_failures,
+            policy=policy,
+            journal_path=args.journal,
+            resume=args.resume,
+            on_seed_result=on_seed,
+            on_failure=on_failure,
+        )
+    finally:
+        # Whatever aggregated before a crash/interrupt is still worth
+        # persisting — the dashboard's partial view and the atomic
+        # metrics file both survive an aborted sweep.
+        if want_obs and aggregator.done:
+            dashboard.finish()
+            from .obs import write_sweep_metrics
+
+            write_sweep_metrics(aggregator, metrics_path)
     elapsed = time.perf_counter() - start
+    if want_obs:
+        print(f"metrics    : {metrics_path}")
+        print()
 
     table = Table(
         "sweep",
@@ -746,7 +900,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from .obs import RoundEvent, read_events
+    from .obs import RoundEvent, read_events, read_spans
 
     # An obs JSONL stream identifies itself by its header line; anything
     # else must parse as a trace archive, whose records the same events
@@ -760,6 +914,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         # the wrong format.
         raise
     except ValueError:
+        try:
+            _, spans = read_spans(args.input)
+        except TraceFormatError:
+            # A real spans stream with a corrupted line: blame the
+            # spans format, not the trace parse that would follow.
+            raise
+        except ValueError:
+            pass
+        else:
+            # A valid spans file handed to the wrong command: one
+            # structured line pointing at the right one, not a trace-
+            # parse failure blaming the wrong format.
+            raise TraceFormatError(
+                f"{args.input}: is a repro-spans-v1 span stream "
+                f"({len(spans)} spans), which carries no round events; "
+                f"convert it with 'repro trace-export' instead",
+                path=args.input,
+            )
         from .sim.replay import load_trace
 
         trace = load_trace(args.input)
@@ -783,6 +955,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         )
     print()
     if not events:
+        # A valid but empty stream: a run that was recorded with the
+        # obs layer off, or that ended before its first round.  Say so
+        # in one line instead of printing empty tables.
+        print(
+            "no round events recorded — the stream has a valid header "
+            "but no events (obs-disabled run, or it ended before the "
+            "first round)"
+        )
         return 0
 
     classes = Table(
@@ -818,6 +998,111 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _synthetic_round_events(rows: List[dict], pid: int, label: str) -> List[dict]:
+    """Round summaries -> Chrome trace events on a synthetic timeline.
+
+    Event streams and trace archives carry no wall-clock timing, so
+    each round gets one fixed 1 ms slot; what the export shows is the
+    *structure* — class transitions, crashes, movement — not latency.
+    """
+    slot_us = 1000.0
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        }
+    ]
+    for i, row in enumerate(rows):
+        events.append(
+            {
+                "name": f"round {row.get('round', i)} "
+                        f"[{row.get('config_class', '?')}]",
+                "cat": "round",
+                "ph": "X",
+                "ts": i * slot_us,
+                "dur": slot_us,
+                "pid": pid,
+                "tid": 0,
+                "args": row,
+            }
+        )
+    return events
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from .obs import chrome_trace_events, read_events, read_spans
+    from .resilience import atomic_write
+
+    output = args.output or (
+        os.path.splitext(args.input)[0] + ".perfetto.json"
+    )
+
+    try:
+        meta, spans = read_spans(args.input)
+    except TraceFormatError:
+        raise
+    except ValueError:
+        spans = None
+
+    if spans is not None:
+        label = None
+        scenario = (meta or {}).get("scenario") or {}
+        if scenario:
+            label = (
+                f"{scenario.get('workload', '?')} n={scenario.get('n', '?')} "
+                f"seed={(meta or {}).get('seed')}"
+            )
+        events = chrome_trace_events(spans, pid=args.pid, process_name=label)
+        kind = f"span stream ({len(spans)} spans)"
+    else:
+        # Not a spans file: an obs event stream or a trace archive, both
+        # exported on the synthetic per-round timeline.
+        try:
+            _, round_events, _ = read_events(args.input)
+            rows = [
+                {
+                    "round": e.round_index,
+                    "config_class": e.config_class,
+                    "moved": len(e.moved),
+                    "crashed": len(e.crashed),
+                    "support": e.support,
+                    "spread": e.spread,
+                }
+                for e in round_events
+            ]
+            kind = f"obs event stream ({len(rows)} rounds)"
+        except TraceFormatError:
+            raise
+        except ValueError:
+            from .sim.replay import load_trace
+
+            trace = load_trace(args.input)
+            rows = [
+                {
+                    "round": record.round_index,
+                    "config_class": record.config_class.value,
+                    "moved": len(record.moved),
+                    "crashed": len(record.crashed_now),
+                    "active": len(record.active),
+                }
+                for record in trace.records
+            ]
+            kind = f"trace archive ({len(rows)} rounds)"
+        events = _synthetic_round_events(
+            rows, args.pid, os.path.basename(args.input)
+        )
+
+    document = {"traceEvents": events, "displayTimeUnit": "ms"}
+    atomic_write(output, json.dumps(document) + "\n")
+    print(f"{args.input}: {kind}")
+    print(f"wrote {len(events)} trace events -> {output}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from . import obs
 
@@ -844,8 +1129,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     with kernels.backend(backend):
         with obs.observability(
             jsonl=args.obs_jsonl,
+            spans_jsonl=args.spans_jsonl,
             meta=_scenario_meta(scenario, args.seed, engine_seed)
-            if args.obs_jsonl
+            if args.obs_jsonl or args.spans_jsonl
             else None,
         ):
             start = time.perf_counter()
@@ -863,6 +1149,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print()
     if args.obs_jsonl:
         print(f"event stream saved to {args.obs_jsonl}")
+    if args.spans_jsonl:
+        print(f"span trace saved to {args.spans_jsonl}")
     return 0
 
 
@@ -914,6 +1202,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "stats":
             return _cmd_stats(args)
+        if args.command == "trace-export":
+            return _cmd_trace_export(args)
         if args.command == "profile":
             return _cmd_profile(args)
         if args.command == "render":

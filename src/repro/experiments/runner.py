@@ -26,6 +26,7 @@ from functools import partial
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from .. import obs as _obs
+from ..obs import aggregate
 from ..resilience import (
     ChaosPolicy,
     ResilientExecutor,
@@ -223,6 +224,10 @@ def run_scenario(
     archive self-describing: ``repro check`` can re-simulate it from the
     JSON alone.
     """
+    # The capture point precedes the build: workload generation and
+    # algorithm setup do real geometry, and that work belongs to the
+    # seed's delta — otherwise it vanishes between payload windows.
+    before = aggregate.capture_before() if _obs.state.enabled else None
     sim = build_simulation(
         scenario, seed, engine_seed=engine_seed, record_trace=record_trace
     )
@@ -236,6 +241,12 @@ def run_scenario(
         _obs.metrics.inc("runner.rounds", result.rounds)
         _obs.metrics.observe("runner.run_seconds", elapsed)
         _obs.metrics.observe(f"runner.worker.{os.getpid()}.run_seconds", elapsed)
+        # The seed's exact registry delta + span tail rides home on the
+        # result, so a pooled sweep's parent can aggregate what each
+        # worker recorded (repro sweep --obs).  Computed from snapshots,
+        # never by resetting the registry — the cumulative view that
+        # `repro experiment --obs` prints must survive.
+        result.obs = aggregate.seed_payload(before)
     if result.trace is not None:
         result.trace.meta = TraceMeta.for_run(
             scenario=scenario.to_dict(),
@@ -313,6 +324,7 @@ def parallel_map(
     chaos: Optional[ChaosPolicy] = None,
     keys: Optional[Sequence[str]] = None,
     on_result: Optional[Callable[[int, object], None]] = None,
+    on_failure: Optional[Callable[[str, BaseException, bool], None]] = None,
 ) -> List:
     """``[fn(x) for x in items]``, optionally across worker processes.
 
@@ -328,8 +340,10 @@ def parallel_map(
 
     ``on_result(index, value)`` fires as items complete (completion
     order) — the checkpoint journal of :func:`run_batch` hangs off it.
-    A plain legacy :class:`concurrent.futures.ProcessPoolExecutor` is
-    still accepted as ``pool`` and used via ``pool.map`` (no resilience).
+    ``on_failure(key, exc, strike)`` fires per failed attempt — the
+    sweep dashboard's retry/timeout counters hang off it.  A plain
+    legacy :class:`concurrent.futures.ProcessPoolExecutor` is still
+    accepted as ``pool`` and used via ``pool.map`` (no resilience).
     """
     items = list(items)
     call = partial(_call_pinned, fn, kernels.get_backend())
@@ -340,13 +354,13 @@ def parallel_map(
     if isinstance(pool, ResilientExecutor):
         return pool.map_resilient(
             call, items, keys=keys, chaos=chaos, on_result=on_result,
-            policy=policy,
+            on_failure=on_failure, policy=policy,
         )
     if workers and workers > 1 and len(items) > 1:
         with executor(workers, policy=policy) as shared:
             return shared.map_resilient(
                 call, items, keys=keys, chaos=chaos, on_result=on_result,
-                policy=policy,
+                on_failure=on_failure, policy=policy,
             )
     if policy is not None or on_result is not None or (
         chaos is not None and chaos.enabled
@@ -356,7 +370,7 @@ def parallel_map(
         serial = ResilientExecutor(None, policy=policy)
         return serial.map_resilient(
             call, items, keys=keys, chaos=chaos, on_result=on_result,
-            policy=policy,
+            on_failure=on_failure, policy=policy,
         )
     return [fn(x) for x in items]
 
@@ -378,6 +392,10 @@ def run_batch(
     chaos: Optional[ChaosPolicy] = None,
     journal_path: Optional[str] = None,
     resume: bool = False,
+    on_seed_result: Optional[
+        Callable[[int, SimulationResult], None]
+    ] = None,
+    on_failure: Optional[Callable[[str, BaseException, bool], None]] = None,
 ) -> List[SimulationResult]:
     """Run a scenario over a seed range (optionally in parallel).
 
@@ -403,6 +421,11 @@ def run_batch(
     directory as a self-describing trace JSON that ``repro check
     --replay`` accepts.  The archived corpus is what CI replays on both
     backends.
+
+    ``on_seed_result(seed, result)`` fires per completed seed —
+    journal-resumed seeds first (their recorded results), then fresh
+    seeds in completion order; ``on_failure(key, exc, strike)`` fires
+    per failed attempt.  The live sweep dashboard hangs off both.
     """
     seeds = list(seeds)
     completed: Dict[int, SimulationResult] = {}
@@ -415,9 +438,16 @@ def run_batch(
     todo = [seed for seed in seeds if seed not in completed]
     label = scenario.label()
 
+    if on_seed_result is not None:
+        for seed in seeds:
+            if seed in completed:
+                on_seed_result(seed, completed[seed])
+
     def checkpoint(index: int, result: SimulationResult) -> None:
         if journal is not None:
             journal.append(todo[index], result)
+        if on_seed_result is not None:
+            on_seed_result(todo[index], result)
 
     try:
         fresh = parallel_map(
@@ -429,6 +459,7 @@ def run_batch(
             chaos=chaos,
             keys=[f"{label}#seed{seed}" for seed in todo],
             on_result=checkpoint,
+            on_failure=on_failure,
         )
     finally:
         if journal is not None:

@@ -30,6 +30,21 @@ hooks
     meta block as a ``repro-trace-v2`` archive, so an event stream can
     be joined to its trace by seed and scenario.
 
+spans
+    A span tracer (:mod:`repro.obs.spans`): run -> round -> phase
+    (look/compute/move) -> kernel time ranges with explicit
+    parent/child ids and monotonic timestamps, kept in a bounded ring
+    and optionally streamed as ``repro-spans-v1`` JSONL.  ``repro
+    trace-export`` converts any of it to the Chrome trace-event format
+    for Perfetto.  Tracing rides the same enabled guard (veto with
+    ``REPRO_SPANS=0``).
+
+For sweep-scale runs, :mod:`repro.obs.aggregate` ships each worker's
+registry snapshot and span tail home inside the per-seed result payload
+and merges them — counters, stats, kernel timers and the fixed-bucket
+histograms of :mod:`repro.obs.histogram` — into one ``sweep-metrics``
+document; :mod:`repro.obs.dashboard` renders the merge live.
+
 Layering: this package imports nothing from the rest of ``repro``, so
 the engines, kernels and runner can all import it without cycles.
 ``RoundEvent.from_record`` defers its ``repro.core`` / ``repro.sim``
@@ -49,10 +64,18 @@ executions stay bit-identical to uninstrumented ones.
 from __future__ import annotations
 
 import os
+import time
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from .aggregate import (
+    SWEEP_METRICS_SCHEMA,
+    Aggregator,
+    write_sweep_metrics,
+)
+from .dashboard import SweepDashboard
 from .events import OBS_SCHEMA, RoundEvent
+from .histogram import Histogram
 from .hooks import (
     clear_hooks,
     emit_kernel,
@@ -65,15 +88,36 @@ from .hooks import (
 )
 from .metrics import Metrics, metrics
 from .sink import Collector, JsonlSink, read_events
+from .spans import (
+    SPANS_SCHEMA,
+    Span,
+    SpanJsonlSink,
+    Tracer,
+    chrome_trace_events,
+    read_spans,
+    tracer,
+)
 
 __all__ = [
     "OBS_SCHEMA",
+    "SPANS_SCHEMA",
+    "SWEEP_METRICS_SCHEMA",
+    "Aggregator",
+    "SweepDashboard",
+    "write_sweep_metrics",
     "RoundEvent",
     "Metrics",
     "metrics",
+    "Histogram",
     "Collector",
     "JsonlSink",
     "read_events",
+    "Span",
+    "Tracer",
+    "tracer",
+    "SpanJsonlSink",
+    "read_spans",
+    "chrome_trace_events",
     "on_round",
     "on_kernel",
     "on_run_end",
@@ -140,20 +184,27 @@ def disable() -> None:
 
 @contextmanager
 def observability(
-    jsonl: Optional[str] = None, meta: Optional[dict] = None
+    jsonl: Optional[str] = None,
+    meta: Optional[dict] = None,
+    spans_jsonl: Optional[str] = None,
 ) -> Iterator[Metrics]:
     """Enable observability for a block, optionally sinking to JSONL.
 
     Yields the process-wide :data:`metrics` registry.  With ``jsonl``
     a :class:`JsonlSink` is opened at that path, registered for round
-    events and run-end summaries, and closed on exit; ``meta`` (a
-    ``repro-trace-v2`` meta dict) becomes the sink's join header.  The
-    previous toggle value is restored on exit.
+    events and run-end summaries, and closed on exit; with
+    ``spans_jsonl`` a :class:`SpanJsonlSink` streams every finished
+    span the same way.  ``meta`` (a ``repro-trace-v2`` meta dict)
+    becomes the sinks' join header.  The previous toggle value is
+    restored on exit.
     """
     sink = JsonlSink(jsonl, meta=meta) if jsonl else None
     if sink is not None:
         on_round(sink.write)
         on_run_end(sink.write_run_end)
+    span_sink = SpanJsonlSink(spans_jsonl, meta=meta) if spans_jsonl else None
+    if span_sink is not None:
+        tracer.add_sink(span_sink.write)
     previous = state.enabled
     enable()
     try:
@@ -165,23 +216,48 @@ def observability(
             remove_hook(sink.write)
             remove_hook(sink.write_run_end)
             sink.close()
+        if span_sink is not None:
+            tracer.remove_sink(span_sink.write)
+            span_sink.close()
 
 
 # -- recording entry points (callers guard on ``state.enabled``) -------------
 
 
-def record_round(event: RoundEvent) -> None:
-    """Account a round event in the metrics and dispatch round hooks."""
+def record_round(event: RoundEvent, seconds: Optional[float] = None) -> None:
+    """Account a round event in the metrics and dispatch round hooks.
+
+    ``seconds`` (wall time of the round, when the engine measured it)
+    feeds the fixed-bucket ``round_seconds`` latency histogram that the
+    sweep aggregator merges across workers.
+    """
     metrics.inc("rounds.total")
     metrics.inc(f"rounds.class.{event.config_class}")
     if event.crashed:
         metrics.inc("rounds.crashes", len(event.crashed))
+    if seconds is not None:
+        metrics.observe_hist("round_seconds", seconds)
     emit_round(event)
 
 
 def record_kernel(name: str, seconds: float, backend: str) -> None:
-    """Account one kernel call and dispatch kernel hooks."""
+    """Account one kernel call and dispatch kernel hooks.
+
+    Also bins the latency into the ``kernel_seconds`` histogram and,
+    when tracing is active, records a leaf ``kernel`` span attributed
+    to the innermost open span (the phase that issued the call).
+    """
     metrics.record_kernel(name, seconds, backend)
+    metrics.observe_hist("kernel_seconds", seconds)
+    if tracer.active:
+        duration_ns = int(seconds * 1e9)
+        tracer.complete(
+            name,
+            "kernel",
+            time.perf_counter_ns() - duration_ns,
+            duration_ns,
+            attrs={"backend": backend},
+        )
     emit_kernel(name, seconds, backend)
 
 

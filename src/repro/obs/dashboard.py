@@ -1,0 +1,135 @@
+"""Live terminal dashboard for ``repro sweep --obs``.
+
+Renders the running :class:`~repro.obs.aggregate.Aggregator` as a small
+multi-line block: seeds done/resumed/retried/timed-out, round
+throughput, ETA, the per-class round distribution and the verdict
+tally.  On a TTY the block repaints in place (cursor-up + clear-line
+ANSI codes, throttled to a few frames per second); on anything else —
+CI logs, a pipe into ``tee`` — it degrades to plain one-line progress
+prints at a gentle interval, so redirected output stays readable
+instead of filling with control codes.
+
+The dashboard only *reads* the aggregator; all accounting lives in
+:mod:`repro.obs.aggregate`.  Every render goes through the same
+:meth:`SweepDashboard.lines` formatter, so the final summary printed
+after the sweep is exactly the last frame.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List, Optional, TextIO
+
+from .aggregate import Aggregator
+
+__all__ = ["SweepDashboard", "format_eta"]
+
+
+def format_eta(seconds: Optional[float]) -> str:
+    """``1:23:45`` / ``2:05`` / ``--`` humanized remaining time."""
+    if seconds is None:
+        return "--"
+    seconds = int(seconds)
+    hours, rest = divmod(seconds, 3600)
+    minutes, secs = divmod(rest, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
+
+
+class SweepDashboard:
+    """Renders an :class:`Aggregator` to a stream, live when possible.
+
+    ``live=None`` (the default) auto-detects: in-place repaint on a TTY,
+    plain throttled lines otherwise.  ``update()`` is cheap to call per
+    completed seed — renders are throttled by ``refresh_s`` (TTY) /
+    ``plain_interval_s`` (non-TTY) — and ``finish()`` always renders the
+    final state.
+    """
+
+    def __init__(
+        self,
+        aggregator: Aggregator,
+        stream: Optional[TextIO] = None,
+        live: Optional[bool] = None,
+        refresh_s: float = 0.2,
+        plain_interval_s: float = 2.0,
+    ) -> None:
+        self.aggregator = aggregator
+        self.stream = stream if stream is not None else sys.stdout
+        if live is None:
+            live = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.live = live
+        self.refresh_s = refresh_s
+        self.plain_interval_s = plain_interval_s
+        self._last_render = 0.0
+        self._painted_lines = 0
+
+    # -- formatting --------------------------------------------------------
+
+    def lines(self) -> List[str]:
+        agg = self.aggregator
+        seeds = (
+            f"seeds   : {agg.done}/{agg.total_seeds}"
+            f"  (resumed {agg.resumed}, retried {agg.retries}, "
+            f"timed out {agg.timeouts})"
+        )
+        rounds = (
+            f"rounds  : {agg.rounds}  ({agg.rounds_per_second():.1f}/s)"
+            f"  ETA {format_eta(agg.eta_seconds())}"
+        )
+        classes = " ".join(
+            f"{name}:{count}" for name, count in agg.class_rounds().items()
+        )
+        verdicts = " ".join(
+            f"{name}:{count}"
+            for name, count in sorted(agg.verdicts.items())
+        )
+        detail = (
+            f"classes : {classes or '-'}   verdicts: {verdicts or '-'}"
+        )
+        workers = (
+            f"workers : {len(agg.workers)} process(es), "
+            f"{agg.span_count} spans collected"
+        )
+        return [seeds, rounds, detail, workers]
+
+    # -- painting ----------------------------------------------------------
+
+    def _paint(self) -> None:
+        lines = self.lines()
+        if self.live and self._painted_lines:
+            # Repaint in place: climb back over the previous frame.
+            self.stream.write(f"\x1b[{self._painted_lines}F")
+        if self.live:
+            for line in lines:
+                self.stream.write(f"\x1b[2K{line}\n")
+            self._painted_lines = len(lines)
+        else:
+            agg = self.aggregator
+            self.stream.write(
+                f"sweep progress: {agg.done}/{agg.total_seeds} seeds, "
+                f"{agg.rounds} rounds ({agg.rounds_per_second():.1f}/s), "
+                f"retried {agg.retries}, timed out {agg.timeouts}, "
+                f"ETA {format_eta(agg.eta_seconds())}\n"
+            )
+        self.stream.flush()
+
+    def update(self, force: bool = False) -> None:
+        """Render if the throttle interval elapsed (or ``force``)."""
+        interval = self.refresh_s if self.live else self.plain_interval_s
+        now = time.monotonic()
+        if not force and now - self._last_render < interval:
+            return
+        self._last_render = now
+        self._paint()
+
+    def finish(self) -> None:
+        """Render the terminal frame (the post-sweep summary block)."""
+        if self.live:
+            self.update(force=True)
+        else:
+            for line in self.lines():
+                self.stream.write(line + "\n")
+            self.stream.flush()

@@ -1,0 +1,147 @@
+"""Fixed log-spaced latency histograms — mergeable across processes.
+
+Running aggregates (:class:`~repro.obs.metrics.Stat`) answer "how much,
+how often, how extreme"; they cannot answer "what does the distribution
+look like", which is the question sweep-scale telemetry actually asks
+(is the round latency bimodal? did one worker's kernels fall off a
+cliff?).  A :class:`Histogram` records each observation into one of a
+*fixed* set of log-spaced buckets, so
+
+* recording is two arithmetic operations and one list increment —
+  cheap enough for per-round and per-kernel-call paths;
+* two histograms recorded in different worker processes merge by
+  element-wise addition of their counts, with no resolution loss and no
+  coordination, because every process uses the *same* boundaries.
+
+The boundaries span 1 microsecond to 1000 seconds at four buckets per
+decade (36 buckets plus an underflow and an overflow bucket), which
+covers everything from a single NumPy kernel call to a pathological
+multi-minute round.  The boundaries are part of the serialized form, so
+a merge across *versions* fails loudly instead of silently misbinning.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+__all__ = ["Histogram", "DEFAULT_BOUNDS", "latency_bounds"]
+
+
+def latency_bounds(
+    lo: float = 1e-6, hi: float = 1e3, per_decade: int = 4
+) -> List[float]:
+    """Log-spaced bucket upper bounds from ``lo`` to ``hi`` inclusive.
+
+    Computed from integer decade exponents (not cumulative
+    multiplication), so every process derives bit-identical boundaries —
+    the precondition for merge-by-addition.
+    """
+    decades = int(round(math.log10(hi / lo)))
+    return [
+        lo * 10.0 ** (i / per_decade) for i in range(decades * per_decade + 1)
+    ]
+
+
+#: The shared latency boundaries (seconds) every histogram uses unless
+#: a caller supplies its own.
+DEFAULT_BOUNDS = latency_bounds()
+
+
+class Histogram:
+    """Counts of observations per fixed log-spaced bucket.
+
+    ``counts[0]`` is the underflow bucket (values <= ``bounds[0]``),
+    ``counts[i]`` counts values in ``(bounds[i-1], bounds[i]]`` and
+    ``counts[-1]`` is the overflow bucket (values > ``bounds[-1]``).
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        self.bounds: List[float] = list(bounds) if bounds is not None else DEFAULT_BOUNDS
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        """Record one observation (seconds)."""
+        self.counts[self._index(value)] += 1
+        self.count += 1
+        self.total += value
+
+    def _index(self, value: float) -> int:
+        bounds = self.bounds
+        if value <= bounds[0]:
+            return 0
+        if value > bounds[-1]:
+            return len(bounds)
+        # Log-spaced bounds admit a direct O(1) index, but a binary
+        # search is branch-identical across platforms and immune to
+        # float-log edge cases at the boundaries.
+        lo, hi = 0, len(bounds) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate quantile: the upper bound of the bucket holding
+        the ``q``-th observation (``None`` when empty)."""
+        if not self.count:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                return self.bounds[min(i, len(self.bounds) - 1)]
+        return self.bounds[-1]
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (element-wise addition)."""
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds": self.bounds,
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        hist = cls(data["bounds"])
+        counts = list(data["counts"])
+        if len(counts) != len(hist.counts):
+            raise ValueError("histogram counts do not match its bounds")
+        hist.counts = counts
+        hist.count = data["count"]
+        hist.total = data["total"]
+        return hist
+
+    def delta(self, earlier: "Histogram") -> "Histogram":
+        """The observations recorded since ``earlier`` (a snapshot of
+        this histogram taken before some window of work)."""
+        if self.bounds != earlier.bounds:
+            raise ValueError("cannot diff histograms with different bounds")
+        out = Histogram(self.bounds)
+        out.counts = [a - b for a, b in zip(self.counts, earlier.counts)]
+        out.count = self.count - earlier.count
+        out.total = self.total - earlier.total
+        return out

@@ -17,13 +17,20 @@ decorators.  Dispatch happens only from the ``record_*`` entry points in
 :mod:`repro.obs`, which the call sites guard behind the enabled flag —
 a registered hook on a disabled process never fires and costs nothing.
 
-A hook that raises propagates: observability must never *silently*
-corrupt a profiling session, and the engines treat hook exceptions
-exactly like observer exceptions (they surface out of ``step``).
+A hook that raises is **quarantined**, not propagated: instrumentation
+is derived state, so a broken profiling callback must never crash the
+simulation mid-round.  The first failure of a hook emits one
+:class:`RuntimeWarning` naming the hook and the exception, and the hook
+is removed from every hook point — it will not fire (or warn) again.
+The warning keeps the failure *visible* (a silently corrupted profiling
+session would be worse than a crash); the removal keeps one bad hook
+from warning once per round for the rest of a long sweep.
+``KeyboardInterrupt`` and other ``BaseException``s still propagate.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, List
 
 from .events import RoundEvent
@@ -78,18 +85,42 @@ def clear_hooks() -> None:
     _round_hooks.clear()
     _kernel_hooks.clear()
     _run_end_hooks.clear()
+    _quarantined.clear()
+
+
+#: ids of hooks that already failed (warn exactly once per hook even if
+#: the same callable is re-registered at several hook points).
+_quarantined: set = set()
+
+
+def _dispatch(hooks: List[Callable], hook_point: str, *args) -> None:
+    """Call every hook, quarantining any that raises.
+
+    Iterates over a copy so removal during dispatch is safe; the other
+    hooks of the round still fire after an offender is dropped.
+    """
+    for fn in list(hooks):
+        try:
+            fn(*args)
+        except Exception as exc:
+            if id(fn) not in _quarantined:
+                _quarantined.add(id(fn))
+                warnings.warn(
+                    f"{hook_point} hook {fn!r} raised "
+                    f"{type(exc).__name__}: {exc}; removing it",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            remove_hook(fn)
 
 
 def emit_round(event: RoundEvent) -> None:
-    for fn in _round_hooks:
-        fn(event)
+    _dispatch(_round_hooks, "on_round", event)
 
 
 def emit_kernel(name: str, seconds: float, backend: str) -> None:
-    for fn in _kernel_hooks:
-        fn(name, seconds, backend)
+    _dispatch(_kernel_hooks, "on_kernel", name, seconds, backend)
 
 
 def emit_run_end(summary: dict) -> None:
-    for fn in _run_end_hooks:
-        fn(summary)
+    _dispatch(_run_end_hooks, "on_run_end", summary)

@@ -8,7 +8,11 @@ One :class:`Metrics` registry per process (:data:`metrics`), holding
   count / total / min / max, e.g. ``weber.iterations`` or
   ``runner.run_seconds``;
 * **kernel timers** — per ``(kernel, backend)`` call counts and summed
-  wall time (`record_kernel`), fed by the instrumented geometry kernels.
+  wall time (`record_kernel`), fed by the instrumented geometry kernels;
+* **histograms** — fixed log-spaced latency distributions (`observe_hist`),
+  e.g. ``round_seconds`` and ``kernel_seconds``.  Because every process
+  bins into the same boundaries (:mod:`repro.obs.histogram`), the
+  sweep-level aggregator merges worker histograms by plain addition.
 
 Everything is plain dictionaries updated in-line: recording one value is
 a couple of dict operations, cheap enough to sit inside instrumented
@@ -20,6 +24,8 @@ what matters (per-worker throughput) into result-independent summaries.
 from __future__ import annotations
 
 from typing import Dict, List, Tuple
+
+from .histogram import Histogram
 
 __all__ = ["Stat", "Metrics", "metrics"]
 
@@ -64,6 +70,7 @@ class Metrics:
         self._counters: Dict[str, int] = {}
         self._stats: Dict[str, Stat] = {}
         self._kernels: Dict[Tuple[str, str], Stat] = {}
+        self._hists: Dict[str, Histogram] = {}
 
     # -- recording -----------------------------------------------------------
 
@@ -85,6 +92,13 @@ class Metrics:
         if stat is None:
             stat = self._kernels[key] = Stat()
         stat.add(seconds)
+
+    def observe_hist(self, name: str, value: float) -> None:
+        """Bin ``value`` into the fixed log-spaced histogram ``name``."""
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = self._hists[name] = Histogram()
+        hist.add(value)
 
     # -- reading -------------------------------------------------------------
 
@@ -113,12 +127,16 @@ class Metrics:
         rows.sort(key=lambda row: row["total_s"], reverse=True)
         return rows
 
+    def hists(self) -> Dict[str, Histogram]:
+        return dict(self._hists)
+
     def snapshot(self) -> dict:
         """One JSON-ready dict of everything recorded so far."""
         return {
             "counters": dict(self._counters),
             "stats": {name: s.to_dict() for name, s in self._stats.items()},
             "kernels": self.kernels(),
+            "hists": {name: h.to_dict() for name, h in self._hists.items()},
         }
 
     def reset(self) -> None:
@@ -126,6 +144,7 @@ class Metrics:
         self._counters.clear()
         self._stats.clear()
         self._kernels.clear()
+        self._hists.clear()
 
 
 #: The process-wide registry all instrumentation records into.

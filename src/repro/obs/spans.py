@@ -1,0 +1,337 @@
+"""Span tracing: run -> round -> phase -> kernel on one timeline.
+
+Round events (:mod:`repro.obs.events`) say *what* each round did;
+spans say *when* and *inside what*.  A :class:`Span` is a named time
+range with an explicit parent/child id link and monotonic nanosecond
+timestamps (``time.perf_counter_ns``), forming the hierarchy
+
+* ``run`` — one span per engine run;
+* ``round`` — one child per ATOM round / ASYNC tick;
+* ``phase`` — the LOOK / COMPUTE / MOVE decomposition.  In ATOM the
+  phases are round-global barriers, so each round carries three phase
+  children; in ASYNC each *activation* is its own phase span (that
+  interleaving is the whole point of the CORDA model);
+* ``kernel`` — one leaf per instrumented geometry-kernel call,
+  attributed to whatever phase was open when it ran.
+
+Recording goes through the process-wide :data:`tracer` and is guarded
+exactly like every other obs signal: call sites check
+``obs.state.enabled`` first, so a disabled process allocates no span
+objects (the no-alloc regression test covers this).  With observability
+on, tracing defaults on too and can be vetoed with ``REPRO_SPANS=0``.
+
+The tracer keeps a bounded in-memory tail (ring buffer) — enough for a
+sweep worker to ship its recent spans home in the per-seed result
+payload — and optionally streams every finished span to sinks, e.g. a
+:class:`SpanJsonlSink` writing the ``repro-spans-v1`` JSONL format:
+
+* line 1 — header ``{"format": "repro-spans-v1", "meta": {...}}`` with
+  the same ``repro-trace-v2`` meta block the event sink embeds;
+* one line per finished span.
+
+:func:`chrome_trace_events` converts serialized spans into the Chrome
+trace-event JSON format (``ph: "X"`` complete events, microsecond
+timestamps), which both ``chrome://tracing`` and Perfetto open
+directly — that is what ``repro trace-export`` emits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, TextIO, Tuple
+
+from ..resilience import TraceFormatError, fsync_handle, promote
+
+__all__ = [
+    "SPANS_SCHEMA",
+    "Span",
+    "Tracer",
+    "tracer",
+    "SpanJsonlSink",
+    "read_spans",
+    "chrome_trace_events",
+]
+
+#: Schema identifier of the spans JSONL stream.
+SPANS_SCHEMA = "repro-spans-v1"
+
+#: Finished spans the tracer retains in memory (ring buffer).
+DEFAULT_TAIL_CAPACITY = 8192
+
+
+class Span:
+    """One named time range on the trace timeline.
+
+    ``span_id`` / ``parent_id`` encode the hierarchy explicitly (no
+    reliance on emission order); ``start_ns`` is monotonic
+    (``perf_counter_ns``), comparable within a process only.  ``seq``
+    is the tracer-assigned completion number, used to slice per-seed
+    tails out of a worker's ring buffer.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "kind", "start_ns",
+                 "duration_ns", "attrs", "seq")
+
+    def __init__(self, span_id: int, parent_id: Optional[int], name: str,
+                 kind: str, start_ns: int,
+                 attrs: Optional[dict] = None) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.start_ns = start_ns
+        self.duration_ns = 0
+        self.attrs = attrs
+        self.seq = -1
+
+    def to_dict(self) -> dict:
+        payload = {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start_ns": self.start_ns,
+            "dur_ns": self.duration_ns,
+        }
+        if self.attrs:
+            payload["attrs"] = self.attrs
+        return payload
+
+
+def _env_vetoed(value: Optional[str]) -> bool:
+    return (value or "").strip().lower() in ("0", "false", "no", "off")
+
+
+class Tracer:
+    """The process-wide span recorder.
+
+    Single-threaded by design (both engines are): the open-span stack
+    *is* the current parent chain, so ``begin``/``end`` pairs nest
+    without any caller-side bookkeeping.  ``active`` is a plain
+    attribute so the hot-path guard stays one attribute read — call
+    sites check ``obs.state.enabled and tracer.active``.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_TAIL_CAPACITY) -> None:
+        self.active = not _env_vetoed(os.environ.get("REPRO_SPANS"))
+        self._next_id = 1
+        self._stack: List[Span] = []
+        self._tail: Deque[Span] = deque(maxlen=capacity)
+        self._sinks: List[Callable[[Span], None]] = []
+        self._warned_sinks: set = set()
+        #: Completion counter; per-seed payloads slice the tail on it.
+        self.seq = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def begin(self, name: str, kind: str,
+              attrs: Optional[dict] = None) -> Span:
+        """Open a span as a child of the innermost open span."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(self._next_id, parent, name, kind,
+                    time.perf_counter_ns(), attrs)
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span) -> Span:
+        """Close ``span``, stamp its duration, and emit it."""
+        span.duration_ns = time.perf_counter_ns() - span.start_ns
+        # Normal callers close in LIFO order; tolerate a missed end()
+        # higher up (an engine exception path) by unwinding to the span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        self._emit(span)
+        return span
+
+    def complete(self, name: str, kind: str, start_ns: int, duration_ns: int,
+                 attrs: Optional[dict] = None) -> Span:
+        """Record an already-finished leaf span (kernel attribution:
+        the timing wrapper only knows the duration after the call)."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(self._next_id, parent, name, kind, start_ns, attrs)
+        self._next_id += 1
+        span.duration_ns = duration_ns
+        self._emit(span)
+        return span
+
+    def _emit(self, span: Span) -> None:
+        self.seq += 1
+        span.seq = self.seq
+        self._tail.append(span)
+        for sink in list(self._sinks):
+            try:
+                sink(span)
+            except Exception as exc:
+                # Same contract as the hardened obs hooks: a broken sink
+                # is warned about once and removed; it never takes the
+                # simulation down with it.
+                if id(sink) not in self._warned_sinks:
+                    self._warned_sinks.add(id(sink))
+                    warnings.warn(
+                        f"span sink {sink!r} raised "
+                        f"{type(exc).__name__}: {exc}; removing it",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                self.remove_sink(sink)
+
+    # -- sinks & reading ---------------------------------------------------
+
+    def add_sink(self, sink: Callable[[Span], None]) -> Callable[[Span], None]:
+        self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Callable[[Span], None]) -> None:
+        while sink in self._sinks:
+            self._sinks.remove(sink)
+
+    def tail(self, since_seq: int = 0) -> List[Span]:
+        """Finished spans with completion number > ``since_seq`` that
+        are still in the ring buffer (oldest first)."""
+        return [s for s in self._tail if s.seq > since_seq]
+
+    def reset(self) -> None:
+        """Drop all state (test isolation); keeps ``active`` as is."""
+        self._next_id = 1
+        self._stack.clear()
+        self._tail.clear()
+        self._sinks.clear()
+        self._warned_sinks.clear()
+        self.seq = 0
+
+
+#: The process-wide tracer all span instrumentation records into.
+tracer = Tracer()
+
+
+class SpanJsonlSink:
+    """Streaming ``repro-spans-v1`` JSONL writer.
+
+    Mirrors :class:`~repro.obs.sink.JsonlSink`: eager self-describing
+    header, stream into ``<path>.partial``, fsync + atomic rename on
+    :meth:`close` — a finished spans file is always whole.
+    """
+
+    def __init__(self, path: str, meta: Optional[dict] = None) -> None:
+        self.path = path
+        self.meta = meta
+        self._partial_path = path + ".partial"
+        self._handle: Optional[TextIO] = open(
+            self._partial_path, "w", encoding="utf-8"
+        )
+        self._write_line({"format": SPANS_SCHEMA, "meta": meta})
+
+    def _write_line(self, payload: dict) -> None:
+        if self._handle is None:
+            raise ValueError(f"span sink {self.path!r} is closed")
+        self._handle.write(json.dumps(payload))
+        self._handle.write("\n")
+
+    def write(self, span: Span) -> None:
+        self._write_line(span.to_dict())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            fsync_handle(self._handle)
+            self._handle.close()
+            self._handle = None
+            promote(self._partial_path, self.path)
+
+    def __enter__(self) -> "SpanJsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_spans(path: str) -> Tuple[Optional[dict], List[dict]]:
+    """Read a spans JSONL stream: ``(meta, span dicts)``.
+
+    Raises :class:`ValueError` on a missing or foreign header and
+    :class:`~repro.resilience.errors.TraceFormatError` (with path and
+    1-based line number) on corrupted payload lines — the same loud
+    failure contract as the event-stream reader.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            header_line = handle.readline()
+        except UnicodeDecodeError:
+            raise ValueError(f"{path!r} is not a {SPANS_SCHEMA} stream")
+        try:
+            header = json.loads(header_line) if header_line.strip() else None
+        except json.JSONDecodeError:
+            header = None
+        if not isinstance(header, dict) or header.get("format") != SPANS_SCHEMA:
+            raise ValueError(f"{path!r} is not a {SPANS_SCHEMA} stream")
+        spans: List[dict] = []
+        line_no = 1
+        for line in handle:
+            line_no += 1
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    f"{path}: undecodable span line {line_no}: {exc.msg} "
+                    f"(stream truncated or corrupted)",
+                    path=path,
+                    line=line_no,
+                    offset=exc.pos,
+                ) from exc
+            if not isinstance(payload, dict) or "id" not in payload:
+                raise TraceFormatError(
+                    f"{path}: span line {line_no} is not a span object",
+                    path=path,
+                    line=line_no,
+                )
+            spans.append(payload)
+    return header.get("meta"), spans
+
+
+def chrome_trace_events(
+    spans: List[dict],
+    pid: int = 0,
+    process_name: Optional[str] = None,
+) -> List[dict]:
+    """Serialized spans -> Chrome trace-event ``traceEvents`` entries.
+
+    Every span becomes one complete event (``ph: "X"``) with
+    microsecond timestamps; ``pid`` groups spans from one process onto
+    one Perfetto track group (sweep exports use the worker pid).  Span
+    and parent ids travel in ``args`` so the hierarchy survives even
+    though the viewer nests by time containment.
+    """
+    events: List[dict] = []
+    if process_name is not None:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        })
+    for span in spans:
+        args: Dict[str, object] = {
+            "span_id": span["id"],
+            "parent_id": span["parent"],
+        }
+        args.update(span.get("attrs") or {})
+        events.append({
+            "name": span["name"],
+            "cat": span["kind"],
+            "ph": "X",
+            "ts": span["start_ns"] / 1000.0,
+            "dur": span["dur_ns"] / 1000.0,
+            "pid": pid,
+            "tid": 0,
+            "args": args,
+        })
+    return events

@@ -100,11 +100,13 @@ class _MapState:
     """Book-keeping of one :meth:`ResilientExecutor.map_resilient` call."""
 
     def __init__(self, items: List, keys: List[str], policy: RunPolicy,
-                 on_result: Optional[Callable]) -> None:
+                 on_result: Optional[Callable],
+                 on_failure: Optional[Callable] = None) -> None:
         self.items = items
         self.keys = keys
         self.policy = policy
         self.on_result = on_result
+        self.on_failure = on_failure
         self.results: List = [None] * len(items)
         self.attempts = [0] * len(items)
         self.strikes = [0] * len(items)
@@ -122,6 +124,15 @@ class _MapState:
         """Record a failed attempt; a *strike* counts against the retry
         budget, a chargeless failure (pool breakage) only re-rolls."""
         self.attempts[index] += 1
+        if self.on_failure is not None:
+            # Telemetry only (the sweep dashboard's retry/timeout
+            # counters); a broken observer must never fail the sweep.
+            try:
+                self.on_failure(self.keys[index], exc, strike)
+            except Exception:
+                logger.warning(
+                    "on_failure observer raised; ignoring", exc_info=True
+                )
         if strike:
             self.strikes[index] += 1
             if self.strikes[index] > self.policy.retries:
@@ -228,6 +239,7 @@ class ResilientExecutor:
         keys: Optional[Sequence[str]] = None,
         chaos: Optional[ChaosPolicy] = None,
         on_result: Optional[Callable[[int, object], None]] = None,
+        on_failure: Optional[Callable[[str, BaseException, bool], None]] = None,
         policy: Optional[RunPolicy] = None,
     ) -> List:
         """``[fn(x) for x in items]`` with crash recovery; input order.
@@ -235,7 +247,9 @@ class ResilientExecutor:
         ``keys`` are stable human-readable item labels (error messages,
         chaos decisions, journal callbacks); they default to the item
         index.  ``on_result(index, value)`` fires as each item
-        completes, in completion order.  Raises
+        completes, in completion order.  ``on_failure(key, exc,
+        strike)`` fires on every failed attempt (telemetry; exceptions
+        from it are logged and swallowed).  Raises
         :class:`~repro.resilience.errors.WorkerCrashError` /
         :class:`~repro.resilience.errors.SeedTimeoutError` only after
         every other item has been driven to completion.
@@ -249,7 +263,7 @@ class ResilientExecutor:
             raise ValueError("keys must match items one to one")
         if chaos is not None and not chaos.enabled:
             chaos = None
-        state = _MapState(items, keys, policy, on_result)
+        state = _MapState(items, keys, policy, on_result, on_failure)
 
         try:
             while state.incomplete:

@@ -36,6 +36,7 @@ the extra requirement that no correct robot has a pending stale move).
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -170,7 +171,24 @@ class AsyncSimulation:
         return best if best is not None else dest
 
     def step(self) -> None:
-        """Advance one tick: crashes, then one phase for each activated robot."""
+        """Advance one tick: crashes, then one phase for each activated robot.
+
+        Observability: the tick is timed into the ``round_seconds``
+        histogram, and with tracing active it becomes a ``round`` span.
+        Unlike ATOM there is no round-global phase barrier — LOOK and
+        MOVE activations interleave per robot, which is the point of
+        the CORDA model — so each activation gets its *own* phase span
+        (``look`` with a nested ``compute``, or ``move``), labelled
+        with the robot id.
+        """
+        obs_on = _obs.state.enabled
+        started = time.perf_counter() if obs_on else 0.0
+        tracer = _obs.tracer if obs_on and _obs.tracer.active else None
+        round_span = (
+            tracer.begin("tick", "round", attrs={"round": self.tick})
+            if tracer is not None
+            else None
+        )
         crash_now = self.crash_adversary.crashes(
             self.tick,
             self.live_ids(),
@@ -203,18 +221,37 @@ class AsyncSimulation:
             entry = self.pending.get(rid)
             if entry is None:
                 # LOOK + COMPUTE against the *current* configuration.
+                phase_span = (
+                    tracer.begin("look", "phase", attrs={"robot": rid})
+                    if tracer is not None
+                    else None
+                )
                 frame = robot.anchored_frame()
                 local_points = [frame.to_local(r.position) for r in self.robots]
                 local_config = Configuration(local_points, self.tol)
+                compute_span = (
+                    tracer.begin("compute", "phase", attrs={"robot": rid})
+                    if tracer is not None
+                    else None
+                )
                 dest_local = self.algorithm.compute(
                     local_config, frame.to_local(robot.position)
                 )
+                if tracer is not None:
+                    tracer.end(compute_span)
                 dest = self._snap(frame.to_global(dest_local), config_now)
                 self.pending[rid] = _Pending(dest, self.tick)
+                if tracer is not None:
+                    tracer.end(phase_span)
                 if recording:
                     destinations[rid] = dest
             else:
                 # MOVE towards the (possibly stale) destination.
+                phase_span = (
+                    tracer.begin("move", "phase", attrs={"robot": rid})
+                    if tracer is not None
+                    else None
+                )
                 if entry.looked_at_tick < self.tick - 1:
                     self.stale_moves += 1
                 end = self.movement.endpoint(
@@ -226,6 +263,8 @@ class AsyncSimulation:
                     robot.distance_travelled += robot.position.distance_to(end)
                     robot.position = end
                     moved.append(rid)
+                if tracer is not None:
+                    tracer.end(phase_span)
                 if recording:
                     destinations[rid] = entry.destination
                 del self.pending[rid]
@@ -244,7 +283,16 @@ class AsyncSimulation:
             if self.trace is not None:
                 self.trace.append(record)
             if _obs.state.enabled:
-                _obs.record_round(RoundEvent.from_record(record, engine="async"))
+                if round_span is not None:
+                    round_span.attrs["moved"] = len(moved)
+                    tracer.end(round_span)
+                    round_span = None
+                _obs.record_round(
+                    RoundEvent.from_record(record, engine="async"),
+                    seconds=time.perf_counter() - started,
+                )
+        if round_span is not None:
+            tracer.end(round_span)
         self.tick += 1
 
     # -- run loop ----------------------------------------------------------------------
@@ -267,6 +315,13 @@ class AsyncSimulation:
         return spot if dest.close_to(spot, self.tol) else None
 
     def run(self) -> SimulationResult:
+        run_span = (
+            _obs.tracer.begin(
+                "run", "run", attrs={"engine": "async", "seed": self.seed}
+            )
+            if _obs.state.enabled and _obs.tracer.active
+            else None
+        )
         classes_seen: List[ConfigClass] = []
         verdict = Verdict.MAX_ROUNDS
         while self.tick < self.max_ticks:
@@ -289,6 +344,10 @@ class AsyncSimulation:
 
         spot = self._gathered_now()
         if _obs.state.enabled:
+            if run_span is not None:
+                run_span.attrs["verdict"] = verdict
+                run_span.attrs["rounds"] = self.tick
+                _obs.tracer.end(run_span)
             _obs.record_run_end(
                 {
                     "engine": "async",

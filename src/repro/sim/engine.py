@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -98,6 +99,12 @@ class SimulationResult:
     trace: Optional[Trace]
     initial_class: ConfigClass
     classes_seen: Tuple[ConfigClass, ...]
+    #: Observability payload attached by the experiment runner when the
+    #: obs layer is on: the worker pid, this seed's exact metrics delta
+    #: and its span tail (see :mod:`repro.obs.aggregate`).  Never
+    #: serialized into sweep journals — instrumentation must not change
+    #: the persisted result bytes.
+    obs: Optional[dict] = None
 
     @property
     def gathered(self) -> bool:
@@ -350,11 +357,30 @@ class Simulation:
         Raises :class:`BivalentConfigurationError` if the algorithm
         refuses the current configuration; :meth:`run` converts this
         into the ``impossible`` verdict.
+
+        Observability: with the obs layer on, the round is timed (the
+        ``round_seconds`` histogram) and, when tracing is active, the
+        round becomes a span with three phase children.  ATOM phases
+        are round-global barriers, so ``look`` covers fixing the
+        snapshot everyone acts on (crashes + scheduling), ``compute``
+        the fused per-robot LOOK+COMPUTE loop, and ``move`` the
+        simultaneous move resolution.  All of it sits behind the same
+        one-attribute-read guard as event recording: a disabled process
+        allocates no span objects and reads no clock.
         """
+        obs_on = _obs.state.enabled
+        started = time.perf_counter() if obs_on else 0.0
+        tracer = _obs.tracer if obs_on and _obs.tracer.active else None
+        round_span = (
+            tracer.begin("round", "round", attrs={"round": self.round_index})
+            if tracer is not None
+            else None
+        )
         config_before = self.configuration()
         cls = classify(config_before)
 
         # 1. Crashes.
+        phase_span = tracer.begin("look", "phase") if tracer is not None else None
         crash_now = self.crash_adversary.crashes(
             self.round_index,
             self.live_ids(),
@@ -374,6 +400,9 @@ class Simulation:
             self._last_active,
             positions=self.positions(),
         )
+        if tracer is not None:
+            tracer.end(phase_span)
+            phase_span = tracer.begin("compute", "phase")
 
         # 3. Atomic LCM for every active robot, against one snapshot.
         destinations: Dict[int, Point] = {}
@@ -420,6 +449,9 @@ class Simulation:
             dest = frame.to_global(local_dest)
             dest = self._snap_destination(dest, config_before)
             destinations[robot.robot_id] = dest
+        if tracer is not None:
+            tracer.end(phase_span)
+            phase_span = tracer.begin("move", "phase")
 
         # 4. Simultaneous moves (the movement model may truncate them).
         # Collusive adversaries get to see the whole round's moves first.
@@ -453,6 +485,8 @@ class Simulation:
         self._last_moved = set(moved)
         if moved:
             self._config_cache = None  # positions changed this round
+        if tracer is not None:
+            tracer.end(phase_span)
         config_after = self.configuration()
         record = RoundRecord(
             round_index=self.round_index,
@@ -468,8 +502,15 @@ class Simulation:
             self.trace.append(record)
         for observer in self.observers:
             observer(record)
-        if _obs.state.enabled:
-            _obs.record_round(RoundEvent.from_record(record, engine="atom"))
+        if obs_on:
+            if round_span is not None:
+                round_span.attrs["class"] = cls.value
+                round_span.attrs["moved"] = len(moved)
+                tracer.end(round_span)
+            _obs.record_round(
+                RoundEvent.from_record(record, engine="atom"),
+                seconds=time.perf_counter() - started,
+            )
         self.round_index += 1
         return record
 
@@ -526,6 +567,13 @@ class Simulation:
 
     def run(self) -> SimulationResult:
         """Run until gathered / impossible / stalled / out of rounds."""
+        run_span = (
+            _obs.tracer.begin(
+                "run", "run", attrs={"engine": "atom", "seed": self.seed}
+            )
+            if _obs.state.enabled and _obs.tracer.active
+            else None
+        )
         classes_seen: List[ConfigClass] = []
         verdict = Verdict.MAX_ROUNDS
         while self.round_index < self.max_rounds:
@@ -551,6 +599,10 @@ class Simulation:
 
         spot = self._gathered_now()
         if _obs.state.enabled:
+            if run_span is not None:
+                run_span.attrs["verdict"] = verdict
+                run_span.attrs["rounds"] = self.round_index
+                _obs.tracer.end(run_span)
             _obs.record_run_end(
                 {
                     "engine": "atom",

@@ -16,7 +16,9 @@ def pristine_obs():
     obs.disable()
     obs.clear_hooks()
     obs.metrics.reset()
+    obs.tracer.reset()
     yield
     obs.disable()
     obs.clear_hooks()
     obs.metrics.reset()
+    obs.tracer.reset()

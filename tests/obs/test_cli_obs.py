@@ -1,0 +1,174 @@
+"""CLI surface of the telemetry layer: spans files, sweep metrics,
+trace export, and the stats edge cases."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    OBS_SCHEMA,
+    SWEEP_METRICS_SCHEMA,
+    read_spans,
+)
+
+
+def _assert_chrome_shape(path):
+    """The structural contract Perfetto needs to open the file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    assert isinstance(document["traceEvents"], list)
+    assert document["traceEvents"]
+    for event in document["traceEvents"]:
+        assert event["ph"] in ("X", "M")
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        if event["ph"] == "X":
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["dur"], (int, float))
+            assert isinstance(event["name"], str)
+    return document
+
+
+class TestSimulateSpans:
+    def test_spans_jsonl_written_and_readable(self, tmp_path, capsys):
+        spans_path = str(tmp_path / "run.spans.jsonl")
+        code = main([
+            "simulate", "--workload", "asymmetric", "--n", "6",
+            "--seed", "1", "--spans-jsonl", spans_path,
+        ])
+        assert code == 0
+        assert "span trace saved to" in capsys.readouterr().out
+        meta, spans = read_spans(spans_path)
+        assert meta["scenario"]["workload"] == "asymmetric"
+        kinds = {s["kind"] for s in spans}
+        assert {"run", "round", "phase"} <= kinds
+
+
+class TestSweepMetrics:
+    def test_obs_sweep_writes_metrics_next_to_journal(self, tmp_path, capsys):
+        journal = str(tmp_path / "sweep.journal.jsonl")
+        code = main([
+            "sweep", "--workload", "asymmetric", "--n", "6",
+            "--seeds", "3", "--obs", "--journal", journal,
+        ])
+        assert code == 0
+        metrics_path = str(tmp_path / "sweep-metrics.json")
+        assert f"metrics    : {metrics_path}" in capsys.readouterr().out
+        with open(metrics_path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["schema"] == SWEEP_METRICS_SCHEMA
+        assert document["seeds"]["total"] == 3
+        assert document["seeds"]["done"] == 3
+        assert document["rounds"]["total"] == sum(
+            document["rounds"]["by_class"].values()
+        )
+        assert document["span_count"] > 0
+
+    def test_metrics_flag_picks_the_path(self, tmp_path):
+        target = str(tmp_path / "elsewhere" / "m.json")
+        os.makedirs(os.path.dirname(target))
+        code = main([
+            "sweep", "--workload", "asymmetric", "--n", "6",
+            "--seeds", "2", "--metrics", target,
+        ])
+        assert code == 0
+        with open(target, "r", encoding="utf-8") as handle:
+            assert json.load(handle)["seeds"]["done"] == 2
+
+
+class TestTraceExport:
+    def _spans_file(self, tmp_path):
+        path = str(tmp_path / "run.spans.jsonl")
+        main([
+            "simulate", "--workload", "asymmetric", "--n", "6",
+            "--seed", "1", "--spans-jsonl", path,
+        ])
+        return path
+
+    def test_span_stream_export(self, tmp_path, capsys):
+        spans_path = self._spans_file(tmp_path)
+        out_path = str(tmp_path / "out.json")
+        code = main(["trace-export", spans_path, "-o", out_path])
+        assert code == 0
+        assert "span stream" in capsys.readouterr().out
+        document = _assert_chrome_shape(out_path)
+        args = [
+            e["args"] for e in document["traceEvents"] if e["ph"] == "X"
+        ]
+        assert all("span_id" in a for a in args)
+
+    def test_default_output_path(self, tmp_path):
+        spans_path = self._spans_file(tmp_path)
+        assert main(["trace-export", spans_path]) == 0
+        _assert_chrome_shape(
+            os.path.splitext(spans_path)[0] + ".perfetto.json"
+        )
+
+    def test_event_stream_export(self, tmp_path, capsys):
+        events_path = str(tmp_path / "run.obs.jsonl")
+        main([
+            "simulate", "--workload", "asymmetric", "--n", "6",
+            "--seed", "1", "--obs-jsonl", events_path,
+        ])
+        out_path = str(tmp_path / "out.json")
+        assert main(["trace-export", events_path, "-o", out_path]) == 0
+        assert "obs event stream" in capsys.readouterr().out
+        _assert_chrome_shape(out_path)
+
+    def test_trace_archive_export(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "run.trace.json")
+        main([
+            "simulate", "--workload", "asymmetric", "--n", "6",
+            "--seed", "1", "--save-trace", trace_path,
+        ])
+        out_path = str(tmp_path / "out.json")
+        assert main(["trace-export", trace_path, "-o", out_path]) == 0
+        assert "trace archive" in capsys.readouterr().out
+        _assert_chrome_shape(out_path)
+
+    def test_corrupt_spans_file_exits_2(self, tmp_path, capsys):
+        spans_path = self._spans_file(tmp_path)
+        with open(spans_path, "a", encoding="utf-8") as handle:
+            handle.write('{"id": 1, "trunc\n')
+        code = main(["trace-export", spans_path, "-o", str(tmp_path / "o")])
+        assert code == 2
+        assert "undecodable span line" in capsys.readouterr().err
+
+
+class TestStatsEdgeCases:
+    def test_spans_file_gets_redirected_in_one_line(self, tmp_path, capsys):
+        spans_path = str(tmp_path / "run.spans.jsonl")
+        main([
+            "simulate", "--workload", "asymmetric", "--n", "6",
+            "--seed", "1", "--spans-jsonl", spans_path,
+        ])
+        code = main(["stats", spans_path])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "repro-spans-v1 span stream" in err
+        assert "trace-export" in err
+
+    def test_empty_event_stream_reported_not_tabulated(self, tmp_path,
+                                                       capsys):
+        path = tmp_path / "empty.obs.jsonl"
+        path.write_text(
+            json.dumps({"format": OBS_SCHEMA, "meta": None}) + "\n"
+        )
+        code = main(["stats", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no round events recorded" in out
+        assert "obs-disabled run" in out
+
+    def test_corrupt_event_stream_blames_the_right_format(self, tmp_path,
+                                                          capsys):
+        path = tmp_path / "bad.obs.jsonl"
+        path.write_text(
+            json.dumps({"format": OBS_SCHEMA, "meta": None})
+            + '\n{"round": 0, "trunc\n'
+        )
+        code = main(["stats", str(path)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,95 @@
+"""Fixed log-spaced histograms: binning, merge, delta, serialization."""
+
+import pytest
+
+from repro.obs.histogram import DEFAULT_BOUNDS, Histogram, latency_bounds
+
+
+class TestBounds:
+    def test_bounds_are_deterministic(self):
+        # Merge-by-addition requires every process to derive the exact
+        # same boundaries; recomputation must be bit-identical.
+        assert latency_bounds() == DEFAULT_BOUNDS
+        assert latency_bounds() == latency_bounds()
+
+    def test_default_span_and_resolution(self):
+        assert DEFAULT_BOUNDS[0] == pytest.approx(1e-6)
+        assert DEFAULT_BOUNDS[-1] == pytest.approx(1e3)
+        # Nine decades at four buckets per decade, inclusive endpoints.
+        assert len(DEFAULT_BOUNDS) == 37
+
+
+class TestBinning:
+    def test_counts_land_in_ordered_buckets(self):
+        hist = Histogram()
+        hist.add(1e-5)
+        hist.add(1e-2)
+        hist.add(1.0)
+        assert hist.count == 3
+        assert sum(hist.counts) == 3
+        nonzero = [i for i, c in enumerate(hist.counts) if c]
+        assert nonzero == sorted(nonzero)
+        assert hist.total == pytest.approx(1e-5 + 1e-2 + 1.0)
+
+    def test_underflow_and_overflow(self):
+        hist = Histogram()
+        hist.add(1e-9)
+        hist.add(1e6)
+        assert hist.counts[0] == 1
+        assert hist.counts[-1] == 1
+
+    def test_mean_and_quantile(self):
+        hist = Histogram()
+        assert hist.quantile(0.5) is None
+        for _ in range(99):
+            hist.add(1e-4)
+        hist.add(10.0)
+        assert hist.quantile(0.5) == pytest.approx(1e-4, rel=1.0)
+        assert hist.quantile(1.0) >= 10.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+
+class TestMergeAndDelta:
+    def test_merge_is_elementwise_addition(self):
+        a, b = Histogram(), Histogram()
+        for v in (1e-5, 1e-3, 0.1):
+            a.add(v)
+        for v in (1e-3, 5.0):
+            b.add(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.total == pytest.approx(1e-5 + 1e-3 + 0.1 + 1e-3 + 5.0)
+
+    def test_merge_rejects_foreign_bounds(self):
+        a = Histogram()
+        b = Histogram(bounds=[1.0, 2.0, 4.0])
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_delta_recovers_window_contribution(self):
+        hist = Histogram()
+        hist.add(1e-3)
+        before = Histogram.from_dict(hist.to_dict())
+        hist.add(1e-2)
+        hist.add(1e-2)
+        window = hist.delta(before)
+        assert window.count == 2
+        assert window.total == pytest.approx(2e-2)
+        # delta + before == after, bucket for bucket
+        window.merge(before)
+        assert window.counts == hist.counts
+
+    def test_roundtrip_serialization(self):
+        hist = Histogram()
+        hist.add(0.5)
+        clone = Histogram.from_dict(hist.to_dict())
+        assert clone.counts == hist.counts
+        assert clone.count == hist.count
+        assert clone.total == hist.total
+
+    def test_from_dict_rejects_mismatched_counts(self):
+        data = Histogram().to_dict()
+        data["counts"] = [0, 1]
+        with pytest.raises(ValueError):
+            Histogram.from_dict(data)

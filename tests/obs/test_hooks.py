@@ -1,0 +1,62 @@
+"""Hook quarantine: a broken profiling callback never crashes the run."""
+
+import pytest
+
+from repro import obs
+from repro.experiments.runner import Scenario, run_scenario
+from repro.obs.hooks import emit_kernel, emit_round, emit_run_end
+
+
+def _boom(*args):
+    raise RuntimeError("hook exploded")
+
+
+class TestQuarantine:
+    def test_raising_hook_warned_once_and_removed(self):
+        seen = []
+        obs.on_round(_boom)
+        obs.on_round(seen.append)
+        with pytest.warns(RuntimeWarning, match="hook exploded"):
+            emit_round("first")
+        # The offender is gone; later rounds dispatch warning-free and
+        # the healthy hook keeps firing.
+        emit_round("second")
+        assert seen == ["first", "second"]
+
+    def test_quarantine_covers_every_hook_point(self):
+        obs.on_round(_boom)
+        obs.on_kernel(_boom)
+        obs.on_run_end(_boom)
+        with pytest.warns(RuntimeWarning):
+            emit_round("event")
+        # Already-quarantined at the other points too: no second warning.
+        emit_kernel("k", 0.1, "python")
+        emit_run_end({})
+
+    def test_base_exceptions_still_propagate(self):
+        def interrupt(event):
+            raise KeyboardInterrupt
+
+        obs.on_round(interrupt)
+        with pytest.raises(KeyboardInterrupt):
+            emit_round("event")
+
+    def test_broken_hook_does_not_break_a_simulation(self):
+        scenario = Scenario(
+            workload="asymmetric",
+            n=6,
+            f=1,
+            scheduler="round-robin",
+            crashes="after-move",
+            movement="rigid",
+            max_rounds=2_000,
+        )
+        obs.enable()
+        seen = []
+        obs.on_round(_boom)
+        obs.on_round(lambda event: seen.append(event.round_index))
+        with pytest.warns(RuntimeWarning, match="hook exploded"):
+            result = run_scenario(scenario, 3)
+        assert result.rounds > 0
+        # Every round after the quarantine still reached the good hook.
+        assert len(seen) == result.rounds

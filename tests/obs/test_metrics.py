@@ -65,6 +65,7 @@ class TestMetricsRegistry:
             "counters": {},
             "stats": {},
             "kernels": [],
+            "hists": {},
         }
 
 

@@ -3,12 +3,14 @@
 The engines guard event construction on one attribute read; this
 regression test proves the guard by counting ``RoundEvent.from_record``
 invocations — with observability off, the round loop must never build an
-event object, in either engine.
+event object, in either engine.  The same contract extends to span
+tracing: a disabled process must never construct a ``Span`` object.
 """
 
 from repro import obs
 from repro.experiments.runner import Scenario, run_scenario
 from repro.obs.events import RoundEvent
+from repro.obs.spans import Span
 
 SMALL = Scenario(
     workload="asymmetric",
@@ -43,6 +45,18 @@ def _count_event_builds(monkeypatch):
     return calls
 
 
+def _count_span_builds(monkeypatch):
+    calls = {"n": 0}
+    original = Span.__init__
+
+    def counting(self, *args, **kwargs):
+        calls["n"] += 1
+        original(self, *args, **kwargs)
+
+    monkeypatch.setattr(Span, "__init__", counting)
+    return calls
+
+
 class TestNoAllocationWhenDisabled:
     def test_atom_round_loop_builds_no_events(self, monkeypatch):
         calls = _count_event_builds(monkeypatch)
@@ -58,6 +72,33 @@ class TestNoAllocationWhenDisabled:
         # Without record_trace the async engine must not retain records
         # either — the recording branch is the same guarded path.
         assert result.trace is None
+
+    def test_atom_round_loop_builds_no_spans(self, monkeypatch):
+        calls = _count_span_builds(monkeypatch)
+        result = run_scenario(SMALL, 3)
+        assert result.rounds > 0
+        assert calls["n"] == 0
+
+    def test_async_tick_loop_builds_no_spans(self, monkeypatch):
+        calls = _count_span_builds(monkeypatch)
+        result = run_scenario(ASYNC_SMALL, 3)
+        assert result.rounds > 0
+        assert calls["n"] == 0
+
+    def test_enabled_loop_builds_spans(self, monkeypatch):
+        calls = _count_span_builds(monkeypatch)
+        obs.enable()
+        result = run_scenario(SMALL, 3)
+        # One run span, one per round, and three phase spans per round.
+        assert calls["n"] == 1 + 4 * result.rounds
+
+    def test_spans_vetoed_but_obs_on_builds_no_spans(self, monkeypatch):
+        calls = _count_span_builds(monkeypatch)
+        monkeypatch.setattr(obs.tracer, "active", False)
+        obs.enable()
+        result = run_scenario(SMALL, 3)
+        assert result.rounds > 0
+        assert calls["n"] == 0
 
     def test_enabled_loop_builds_one_event_per_round(self, monkeypatch):
         calls = _count_event_builds(monkeypatch)

@@ -7,11 +7,39 @@ import pytest
 from repro.bench import (
     HISTORY_SCHEMA,
     SCHEMA,
+    check_regressions,
     load_history,
     run_bench,
     write_bench,
 )
 from repro.geometry import kernels
+
+
+def _doc(micro_s=0.010, round_s=0.100, generated_at="2026-01-01T00:00:00"):
+    """A minimal one-key bench document with controllable timings."""
+    return {
+        "schema": SCHEMA,
+        "generated_at": generated_at,
+        "micro": [
+            {"name": "safe_points", "backend": "python", "n": 16,
+             "best_s": micro_s, "mean_s": micro_s},
+        ],
+        "round_throughput": [
+            {"backend": "python", "n": 16, "round_s": round_s,
+             "robots_per_s": 16 / round_s},
+        ],
+    }
+
+
+def _history(*docs):
+    return {
+        "schema": HISTORY_SCHEMA,
+        "latest": docs[-1] if docs else None,
+        "runs": [
+            {"git_sha": None, "recorded_at": d["generated_at"], "document": d}
+            for d in docs
+        ],
+    }
 
 
 class TestBenchDocument:
@@ -70,6 +98,70 @@ class TestBenchDocument:
             load_history(str(path))
         with pytest.raises(ValueError):
             write_bench({"schema": SCHEMA}, str(path))
+
+    def test_check_within_threshold_passes(self):
+        history = _history(_doc(), _doc())
+        assert check_regressions(history, _doc(micro_s=0.011)) == []
+
+    def test_check_flags_both_metric_kinds(self):
+        history = _history(_doc())
+        regressions = check_regressions(
+            history, _doc(micro_s=0.050, round_s=0.500), threshold=0.25
+        )
+        assert {r["metric"] for r in regressions} == {
+            "micro", "round_throughput"
+        }
+        micro = next(r for r in regressions if r["metric"] == "micro")
+        assert micro["key"] == "safe_points/python/16"
+        assert micro["ratio"] == pytest.approx(5.0)
+        assert micro["baseline_s"] == pytest.approx(0.010)
+
+    def test_baseline_is_median_of_window(self):
+        # One noisy (slow) run in the history must not inflate the
+        # baseline: the median of {10, 10, 100} ms is 10 ms, so a 50 ms
+        # current run still regresses.
+        history = _history(_doc(), _doc(micro_s=0.100), _doc())
+        regressions = check_regressions(history, _doc(micro_s=0.050))
+        assert any(r["metric"] == "micro" for r in regressions)
+        assert all(
+            r["baseline_s"] == pytest.approx(0.010)
+            for r in regressions
+            if r["metric"] == "micro"
+        )
+
+    def test_window_limits_which_runs_count(self):
+        # With window=1 only the latest (slow) run forms the baseline,
+        # so the same current document now passes.
+        history = _history(
+            _doc(), _doc(), _doc(micro_s=0.100, round_s=1.0)
+        )
+        slow = _doc(micro_s=0.050, round_s=0.500)
+        assert check_regressions(history, slow, window=1) == []
+        assert check_regressions(history, slow, window=3)
+
+    def test_unmeasured_keys_are_skipped(self):
+        # Growing the size matrix cannot fail the gate: keys with no
+        # history samples are not gated at all.
+        history = _history(_doc())
+        grown = _doc()
+        grown["micro"].append(
+            {"name": "safe_points", "backend": "python", "n": 256,
+             "best_s": 9.9, "mean_s": 9.9}
+        )
+        grown["round_throughput"].append(
+            {"backend": "python", "n": 256, "round_s": 9.9,
+             "robots_per_s": 256 / 9.9}
+        )
+        assert check_regressions(history, grown) == []
+
+    def test_empty_history_gates_nothing(self):
+        assert check_regressions(_history(), _doc()) == []
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            check_regressions(_history(), _doc(), threshold=-0.1)
+        with pytest.raises(ValueError):
+            check_regressions(_history(), _doc(), window=0)
 
     def test_speedups_present_when_numpy_available(self):
         document = run_bench(sizes=[16], repeats=1)
