@@ -100,7 +100,12 @@ def wait_free_gather(config: Configuration, me: Point) -> Point:
     if cls in (ConfigClass.QUASI_REGULAR, ConfigClass.LINEAR_UNIQUE_WEBER):
         return _weber_target(config, cls)
     if cls is ConfigClass.ASYMMETRIC:
-        return elect(config, safe_points(config))
+        # The election depends only on the configuration, not on ``r``:
+        # memoized so the n per-round callers (engine stall checks, one
+        # compute per robot) elect once.
+        return config.memo(
+            "elected_safe", lambda: elect(config, safe_points(config))
+        )
     assert cls is ConfigClass.LINEAR_MANY_WEBER
     return _move_linear_interval(config, r)
 

@@ -274,6 +274,15 @@ class Configuration:
             self._cache[key] = compute()
         return self._cache[key]
 
+    def memo_get(self, key: str, default=None):
+        """Peek at a memoized value without computing it.
+
+        Lets batch pre-seeding (the batched engine warms several
+        configurations' towers with one vectorized kernel call) skip
+        configurations whose value already exists.
+        """
+        return self._cache.get(key, default)
+
     # -- construction helpers -------------------------------------------------
 
     def moved(self, moves: Dict[int, Point]) -> "Configuration":

@@ -84,7 +84,22 @@ def ray_structure(config: Configuration, center: Point) -> List[Ray]:
     the center are not part of the string of angles).  Angles are
     clustered with the angular tolerance, including the wrap-around at
     ``0 / 2*pi``, so nearly-identical directions form one ray.
+
+    Memoized per ``(configuration, center)``: quasi-regularity probes the
+    same center once per candidate multiplicity and every active robot's
+    side-step walks the same rays, so the structure is derived once.
+    Callers must not mutate the returned list.
     """
+    cache = config.memo("rays", dict)
+    cached = cache.get(center)
+    if cached is not None:
+        return cached
+    rays = _ray_structure(config, center)
+    cache[center] = rays
+    return rays
+
+
+def _ray_structure(config: Configuration, center: Point) -> List[Ray]:
     tol = config.tol
     eps_ang = angular_resolution(config, center)
     entries: List[Tuple[float, Point, int]] = []

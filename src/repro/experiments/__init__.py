@@ -31,13 +31,14 @@ from . import (
     e9_safe_points,
 )
 from .report import Table
-from .runner import Scenario, run_batch, run_scenario
+from .runner import Scenario, run_batch, run_batched, run_scenario
 
 __all__ = [
     "EXPERIMENTS",
     "Table",
     "Scenario",
     "run_batch",
+    "run_batched",
     "run_scenario",
     "run_experiment",
 ]

@@ -1,6 +1,7 @@
 """ATOM-model simulator: robots, schedulers, faults, movement, engine."""
 
 from .async_engine import AsyncSimulation
+from .batch import BatchedSimulation
 from .byzantine import (
     AntiGatherByzantine,
     ByzantinePolicy,
@@ -50,6 +51,7 @@ from .replay import (
 
 __all__ = [
     "AsyncSimulation",
+    "BatchedSimulation",
     "AntiGatherByzantine",
     "ByzantinePolicy",
     "ElectionThiefByzantine",

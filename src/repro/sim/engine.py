@@ -52,7 +52,40 @@ from .robot import Robot
 from .scheduler import FairnessWrapper, FullySynchronous, Scheduler
 from .trace import RoundRecord, Trace, TraceMeta
 
-__all__ = ["Simulation", "SimulationResult", "Verdict", "component_rng"]
+__all__ = [
+    "Simulation",
+    "SimulationResult",
+    "Verdict",
+    "component_rng",
+    "snap_destination",
+]
+
+
+def snap_destination(
+    dest: Point, config: Configuration, snap_tolerance: float
+) -> Point:
+    """Snap ``dest`` onto an occupied position it is trying to name.
+
+    Shared by the scalar and batched engines so both apply the identical
+    exactness rule (see the module docstring): among support points
+    within ``snap_tolerance`` the last one achieving the running minimum
+    distance wins, matching the scalar engine's historical scan order.
+    """
+    best = None
+    best_d = snap_tolerance
+    for p in config.support:
+        d = dest.distance_to(p)
+        if d <= best_d:
+            best, best_d = p, d
+    return best if best is not None else dest
+
+
+#: Per-robot local-configuration cache bound.  On idle rounds (no robot
+#: moved) every robot's local snapshot is identical to last round's, so
+#: re-deriving the analysis tower is pure waste — but an A-class tower
+#: retains an O(n^2) view table, so the cache is FIFO-bounded rather
+#: than unbounded at large n.
+_LOCAL_CONFIG_CACHE_MAX = 64
 
 
 def component_rng(seed: int, component: str) -> random.Random:
@@ -283,6 +316,11 @@ class Simulation:
         # all consult the same round's configuration — rebuilding it
         # would discard those memos three times per round.
         self._config_cache: Optional[Configuration] = None
+        # Local-frame twin of the cache above: each robot's private
+        # snapshot (and therefore its memoized tower) only changes when
+        # some robot moves.  Noisy sensors re-perturb every LOOK, so the
+        # cache is disabled under sensor noise.
+        self._local_config_cache: Dict[int, Configuration] = {}
 
     # -- state accessors -----------------------------------------------------
 
@@ -343,13 +381,35 @@ class Simulation:
 
     def _snap_destination(self, dest: Point, config: Configuration) -> Point:
         """Snap ``dest`` onto an occupied position it is trying to name."""
-        best = None
-        best_d = self.snap_tolerance
-        for p in config.support:
-            d = dest.distance_to(p)
-            if d <= best_d:
-                best, best_d = p, d
-        return best if best is not None else dest
+        return snap_destination(dest, config, self.snap_tolerance)
+
+    def _local_configuration(self, robot: Robot) -> Configuration:
+        """The robot's private-frame snapshot, cached across idle rounds."""
+        cached = (
+            self._local_config_cache.get(robot.robot_id)
+            if self.sensor_noise == 0.0
+            else None
+        )
+        if cached is not None:
+            return cached
+        frame = robot.anchored_frame()
+        observed = self._visible_points(robot.position)
+        if self.sensor_noise > 0.0:
+            observed = [
+                p if p == robot.position else self._perturb(p)
+                for p in observed
+            ]
+        local_points = [frame.to_local(p) for p in observed]
+        local_config = Configuration(
+            local_points, self._local_tols[robot.robot_id]
+        )
+        if self.sensor_noise == 0.0:
+            if len(self._local_config_cache) >= _LOCAL_CONFIG_CACHE_MAX:
+                self._local_config_cache.pop(
+                    next(iter(self._local_config_cache))
+                )
+            self._local_config_cache[robot.robot_id] = local_config
+        return local_config
 
     def step(self) -> RoundRecord:
         """Execute one ATOM round and return its record.
@@ -421,18 +481,7 @@ class Simulation:
                 )
                 continue
             frame = robot.anchored_frame()
-            observed = self._visible_points(robot.position)
-            if self.sensor_noise > 0.0:
-                observed = [
-                    p
-                    if p == robot.position
-                    else self._perturb(p)
-                    for p in observed
-                ]
-            local_points = [frame.to_local(p) for p in observed]
-            local_config = Configuration(
-                local_points, self._local_tols[robot.robot_id]
-            )
+            local_config = self._local_configuration(robot)
             local_me = frame.to_local(robot.position)
             if self.sensor_noise > 0.0:
                 # A *noisy observer* can transiently see a bivalent-
@@ -484,7 +533,9 @@ class Simulation:
 
         self._last_moved = set(moved)
         if moved:
-            self._config_cache = None  # positions changed this round
+            # Positions changed: every cached snapshot is stale.
+            self._config_cache = None
+            self._local_config_cache.clear()
         if tracer is not None:
             tracer.end(phase_span)
         config_after = self.configuration()
@@ -524,8 +575,15 @@ class Simulation:
             return None
         # Stability is judged through the robots' own (possibly
         # visibility-limited, resolution-limited) eyes: what would a
-        # robot at the spot do?
-        view = Configuration(self._visible_points(spot), self.effective_tol)
+        # robot at the spot do?  With unlimited exact sensing that view
+        # is the round's configuration itself — reuse its memoized tower
+        # instead of rebuilding it from scratch.
+        if self.visibility is None and self.sensor_noise == 0.0:
+            view = self.configuration()
+        else:
+            view = Configuration(
+                self._visible_points(spot), self.effective_tol
+            )
         try:
             dest = self.algorithm.compute(view, spot)
         except GatheringError:

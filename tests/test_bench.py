@@ -15,7 +15,8 @@ from repro.bench import (
 from repro.geometry import kernels
 
 
-def _doc(micro_s=0.010, round_s=0.100, generated_at="2026-01-01T00:00:00"):
+def _doc(micro_s=0.010, round_s=0.100, batch_seed_s=0.001,
+         generated_at="2026-01-01T00:00:00"):
     """A minimal one-key bench document with controllable timings."""
     return {
         "schema": SCHEMA,
@@ -27,6 +28,12 @@ def _doc(micro_s=0.010, round_s=0.100, generated_at="2026-01-01T00:00:00"):
         "round_throughput": [
             {"backend": "python", "n": 16, "round_s": round_s,
              "robots_per_s": 16 / round_s},
+        ],
+        "batch_round_throughput": [
+            {"backend": "numpy", "n": 16, "n_sims": 256,
+             "round_s": batch_seed_s * 256,
+             "per_seed_round_s": batch_seed_s,
+             "seed_rounds_per_s": 1.0 / batch_seed_s},
         ],
     }
 
@@ -103,14 +110,22 @@ class TestBenchDocument:
         history = _history(_doc(), _doc())
         assert check_regressions(history, _doc(micro_s=0.011)) == []
 
-    def test_check_flags_both_metric_kinds(self):
+    def test_check_flags_all_metric_kinds(self):
         history = _history(_doc())
         regressions = check_regressions(
-            history, _doc(micro_s=0.050, round_s=0.500), threshold=0.25
+            history,
+            _doc(micro_s=0.050, round_s=0.500, batch_seed_s=0.005),
+            threshold=0.25,
         )
         assert {r["metric"] for r in regressions} == {
-            "micro", "round_throughput"
+            "micro", "round_throughput", "batch_round_throughput"
         }
+        batched = next(
+            r for r in regressions
+            if r["metric"] == "batch_round_throughput"
+        )
+        assert batched["key"] == "numpy/16"
+        assert batched["ratio"] == pytest.approx(5.0)
         micro = next(r for r in regressions if r["metric"] == "micro")
         assert micro["key"] == "safe_points/python/16"
         assert micro["ratio"] == pytest.approx(5.0)
@@ -166,9 +181,36 @@ class TestBenchDocument:
     def test_speedups_present_when_numpy_available(self):
         document = run_bench(sizes=[16], repeats=1)
         if "numpy" in kernels.available_backends():
-            assert len(document["speedups"]) == 1
-            entry = document["speedups"][0]
-            assert entry["n"] == 16
-            assert entry["speedup"] > 0.0
+            by_metric = {
+                entry["metric"]: entry for entry in document["speedups"]
+            }
+            assert set(by_metric) == {
+                "round_throughput", "batch_round_throughput"
+            }
+            for entry in by_metric.values():
+                assert entry["n"] == 16
+                assert entry["speedup"] > 0.0
+            batched = document["batch_round_throughput"]
+            assert len(batched) == 1
+            assert batched[0]["per_seed_round_s"] == pytest.approx(
+                batched[0]["round_s"] / batched[0]["n_sims"]
+            )
         else:
             assert document["speedups"] == []
+            assert document["batch_round_throughput"] == []
+
+    def test_batched_gate_normalizes_per_seed(self):
+        # Retuning n_sims must not dodge the gate: the per-seed time is
+        # what is gated, so the same per_seed_round_s under a different
+        # n_sims passes while a genuinely slower per-seed time fails.
+        history = _history(_doc(batch_seed_s=0.001))
+        retuned = _doc(batch_seed_s=0.001)
+        retuned["batch_round_throughput"][0].update(
+            n_sims=64, round_s=0.064
+        )
+        assert check_regressions(history, retuned) == []
+        slower = _doc(batch_seed_s=0.010)
+        regressions = check_regressions(history, slower)
+        assert any(
+            r["metric"] == "batch_round_throughput" for r in regressions
+        )
