@@ -24,6 +24,13 @@ Schema (``repro-bench/1``)
     ``seed_rounds_per_s``.  Measured on the numpy backend only — the
     batched engine exists to amortize kernel calls across sims, which
     the python backend cannot do.
+``serve_request_latency``
+    Cold-vs-warm ``POST /run`` latency against an in-process
+    ``repro serve`` daemon on an ephemeral port: ``cold_s`` is the
+    first request (cache miss, full simulation), ``warm_s`` the best of
+    ``repeats`` cache hits — the serving layer's overhead floor, which
+    the regression gate watches.  Skipped (empty) when the loopback
+    socket cannot bind.
 ``speedups``
     Python-over-numpy ratios of the round times per size (only when
     both backends ran), plus batched-over-scalar per-seed-round ratios
@@ -151,6 +158,68 @@ def _batched_round_seconds(n: int, n_sims: int) -> float:
     return time.perf_counter() - start
 
 
+#: Scenario served by the request-latency benchmark: small enough that
+#: the cold request finishes in tens of milliseconds, deterministic so
+#: every warm repetition hits the same cache entry.
+_SERVE_SCENARIO = {
+    "workload": "random",
+    "n": 6,
+    "f": 1,
+    "crashes": "random",
+    "max_rounds": 5_000,
+}
+
+
+def _serve_request_latency(repeats: int) -> List[Dict]:
+    """Cold/warm ``POST /run`` timings against an in-process daemon.
+
+    Returns a one-entry list (schema-wise a section like the others), or
+    an empty list when the loopback socket cannot bind — bench must
+    degrade, not die, in network-less sandboxes.
+    """
+    import threading
+
+    from .serve.server import ReproServer, _request
+
+    try:
+        server = ReproServer(port=0)
+    except OSError:
+        return []
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        payload = {"scenario": _SERVE_SCENARIO, "seed": 0}
+
+        start = time.perf_counter()
+        status, _, _ = _request(
+            server.host, server.port, "POST", "/run", payload
+        )
+        cold_s = time.perf_counter() - start
+        if status != 200:
+            return []
+
+        warm = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            _request(server.host, server.port, "POST", "/run", payload)
+            warm.append(time.perf_counter() - start)
+    finally:
+        server.close()
+        thread.join(timeout=30)
+    warm_s = min(warm)
+    return [
+        {
+            "endpoint": "run",
+            "n": _SERVE_SCENARIO["n"],
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "warm_mean_s": sum(warm) / len(warm),
+            "repeats": repeats,
+            "speedup": cold_s / warm_s,
+        }
+    ]
+
+
 def run_bench(
     sizes: Optional[Sequence[int]] = None,
     repeats: int = 3,
@@ -213,6 +282,11 @@ def run_bench(
                     }
                 )
 
+    say("serve request latency (cold vs warm)")
+    # Warm hits are sub-millisecond; extra repeats are free and make the
+    # best-of robust against scheduler noise.
+    serve_request_latency = _serve_request_latency(max(repeats, 5))
+
     speedups: List[Dict] = []
     by_size: Dict[int, Dict[str, float]] = {}
     for entry in round_throughput:
@@ -257,6 +331,7 @@ def run_bench(
         "micro": micro,
         "round_throughput": round_throughput,
         "batch_round_throughput": batch_round_throughput,
+        "serve_request_latency": serve_request_latency,
         "speedups": speedups,
     }
 
@@ -351,7 +426,10 @@ def check_regressions(
     benchmark (``best_s``), ``(backend, n)`` of a round-throughput
     measurement (``round_s``) and ``(backend, n)`` of a batched
     round-throughput measurement (``per_seed_round_s``; normalized per
-    seed so retuning ``n_sims`` cannot dodge the gate) — the baseline
+    seed so retuning ``n_sims`` cannot dodge the gate) and
+    ``(endpoint, n)`` of a serve-latency measurement (``warm_s``, the
+    cache-hit overhead floor; ``cold_s`` is simulation-dominated and
+    already covered by the round gates) — the baseline
     is the **median over the last ``window`` history runs** that
     measured that key.  The median
     (not the best or the mean) absorbs the odd noisy run without
@@ -376,6 +454,7 @@ def check_regressions(
     micro_samples: Dict[tuple, List[float]] = {}
     round_samples: Dict[tuple, List[float]] = {}
     batch_samples: Dict[tuple, List[float]] = {}
+    serve_samples: Dict[tuple, List[float]] = {}
     for doc in recent:
         for entry in doc.get("micro", []):
             key = (entry["name"], entry["backend"], entry["n"])
@@ -388,6 +467,9 @@ def check_regressions(
             batch_samples.setdefault(key, []).append(
                 entry["per_seed_round_s"]
             )
+        for entry in doc.get("serve_request_latency", []):
+            key = (entry["endpoint"], entry["n"])
+            serve_samples.setdefault(key, []).append(entry["warm_s"])
 
     regressions: List[Dict] = []
 
@@ -424,6 +506,14 @@ def check_regressions(
             key,
             entry["per_seed_round_s"],
             batch_samples.get(key),
+        )
+    for entry in document.get("serve_request_latency", []):
+        key = (entry["endpoint"], entry["n"])
+        gate(
+            "serve_request_latency",
+            key,
+            entry["warm_s"],
+            serve_samples.get(key),
         )
     return regressions
 

@@ -34,6 +34,14 @@ Three subcommands:
     to a sequential run regardless of retries, pool rebuilds or
     resumption.
 
+``serve``
+    Run the long-lived gathering-as-a-service HTTP daemon: ``POST
+    /run`` and ``POST /sweep`` served through a content-addressed
+    result cache (deterministic simulation makes cache hits exact and
+    permanent), ``GET /healthz`` and ``GET /metrics`` for operations.
+    ``--selftest`` exercises the daemon end to end on an ephemeral
+    port and exits.
+
 ``stats``
     Summarize a trace JSON or an observability JSONL event stream as
     tables: per-class round counts, crash/move totals, spread trajectory.
@@ -326,6 +334,51 @@ def build_parser() -> argparse.ArgumentParser:
                        help="path of the aggregated repro-sweep-metrics-v1 "
                             "JSON (implies --obs; default with --obs: "
                             "sweep-metrics.json next to the journal)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the gathering-as-a-service HTTP daemon",
+        description=(
+            "Long-lived HTTP/JSON daemon.  POST /run executes one "
+            "(scenario, seed) simulation; POST /sweep streams a seed "
+            "range as newline-delimited JSON; GET /healthz and GET "
+            "/metrics serve liveness and telemetry.  Every result is "
+            "memoized in a content-addressed store keyed by "
+            "sha256(scenario, seed, backend, engine, code version) — "
+            "simulation is deterministic, so cache hits return the "
+            "exact bytes of the first computation, forever.  A warm "
+            "worker pool (--workers) survives across requests."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default 8642)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="keep a warm N-process worker pool across "
+                            "requests (default: in-process serial)")
+    serve.add_argument("--store", metavar="DIR", default=None,
+                       help="on-disk result store directory (shared "
+                            "safely between daemons; default: "
+                            "in-memory only)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache entirely (every "
+                            "request recomputes)")
+    serve.add_argument("--memory-entries", type=int, default=4096,
+                       metavar="K",
+                       help="in-memory LRU capacity in results "
+                            "(default 4096)")
+    serve.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-seed wall-clock timeout (pooled runs)")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="attributable failures tolerated per seed "
+                            "(default 2)")
+    serve.add_argument("--selftest", action="store_true",
+                       help="start a daemon on an ephemeral port, "
+                            "exercise every endpoint (cache hits, "
+                            "byte-identical repeats, latency ratio, "
+                            "error mapping), and exit")
 
     export = sub.add_parser(
         "trace-export",
@@ -916,6 +969,55 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if ok == len(results) else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .serve import ReproServer, run_selftest
+
+    policy = RunPolicy(timeout=args.timeout, retries=args.retries)
+    if args.selftest:
+        return run_selftest(workers=args.workers, store_root=args.store)
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        store_root=args.store,
+        cache_enabled=not args.no_cache,
+        memory_entries=args.memory_entries,
+        policy=policy,
+    )
+    # serve_forever runs on a worker thread so the main thread stays
+    # free to receive signals: calling httpd.shutdown() from a signal
+    # handler inside the serving thread would deadlock (it blocks until
+    # the serve loop — the interrupted frame itself — exits).
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    print(
+        f"repro serve listening on http://{server.host}:{server.port}",
+        flush=True,
+    )
+    print(
+        "  endpoints: POST /run  POST /sweep  GET /healthz  GET /metrics",
+        flush=True,
+    )
+    if args.store:
+        print(f"  store    : {args.store}", flush=True)
+    if args.no_cache:
+        print("  cache    : DISABLED (--no-cache)", flush=True)
+    try:
+        stop.wait()
+    finally:
+        print("shutting down", flush=True)
+        server.close()
+        thread.join(timeout=10)
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .obs import RoundEvent, read_events, read_spans
 
@@ -1217,6 +1319,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_check(args)
         if args.command == "sweep":
             return _cmd_sweep(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "stats":
             return _cmd_stats(args)
         if args.command == "trace-export":

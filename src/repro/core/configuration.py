@@ -108,6 +108,7 @@ class Configuration:
         "_sorted",
         "_hash",
         "_cache",
+        "_cache_backend",
     )
 
     def __init__(
@@ -142,7 +143,14 @@ class Configuration:
         self._hash: Optional[int] = None
         # Free-form memo used by the higher layers (views, classification,
         # quasi-regularity); keyed by strings private to each module.
+        # Entries are only valid under the kernel backend they were
+        # computed with: the numpy and reference paths agree to tolerance
+        # but not to the bit, so a memo warmed under one backend must not
+        # leak into runs under the other (e.g. `repro check --backend
+        # both` replaying one shared trace).  The cache is stamped with
+        # the active backend and dropped wholesale when it changes.
         self._cache: Dict[str, object] = {}
+        self._cache_backend: str = kernels.get_backend()
 
     # -- basic multiset interface -------------------------------------------
 
@@ -270,6 +278,7 @@ class Configuration:
         configuration, and re-deriving the full tower per robot would
         dominate the simulation time.
         """
+        self._validate_cache_backend()
         if key not in self._cache:
             self._cache[key] = compute()
         return self._cache[key]
@@ -281,7 +290,20 @@ class Configuration:
         configurations' towers with one vectorized kernel call) skip
         configurations whose value already exists.
         """
+        self._validate_cache_backend()
         return self._cache.get(key, default)
+
+    def _validate_cache_backend(self) -> None:
+        """Drop memos computed under a different kernel backend.
+
+        One attribute read on the hot path; the invalidation itself only
+        runs when ``REPRO_BACKEND`` (or a ``kernels.backend()`` context)
+        actually flipped mid-process while this configuration was alive.
+        """
+        backend = kernels.get_backend()
+        if backend != self._cache_backend:
+            self._cache.clear()
+            self._cache_backend = backend
 
     # -- construction helpers -------------------------------------------------
 

@@ -46,6 +46,7 @@ __all__ = [
     "snapshot_delta",
     "capture_before",
     "seed_payload",
+    "namespace_delta",
     "Aggregator",
     "write_sweep_metrics",
 ]
@@ -151,6 +152,36 @@ def seed_payload(before: Tuple[dict, int]) -> dict:
             span.to_dict() for span in tracer.tail(since_seq=seq_before)
         ]
     return payload
+
+
+def namespace_delta(delta: dict, prefix: str) -> dict:
+    """The same registry delta with every metric name prefixed.
+
+    ``repro serve`` aggregates work from *many independent requests*
+    into one long-lived registry; prefixing each request's delta with
+    its endpoint (``serve.run.``, ``serve.sweep.``) keeps per-endpoint
+    counters and latency histograms separable in the ``/metrics``
+    document without teaching the registry itself about namespaces.
+    Kernel rows keep their kernel/backend identity (they are already a
+    two-level namespace and the bench compares them across contexts).
+    """
+    if not prefix.endswith("."):
+        prefix += "."
+    return {
+        "counters": {
+            prefix + name: value
+            for name, value in delta.get("counters", {}).items()
+        },
+        "stats": {
+            prefix + name: stat
+            for name, stat in delta.get("stats", {}).items()
+        },
+        "kernels": delta.get("kernels", []),
+        "hists": {
+            prefix + name: data
+            for name, data in delta.get("hists", {}).items()
+        },
+    }
 
 
 # -- sweep-level merge (parent side) ------------------------------------------

@@ -31,9 +31,14 @@ class ReproError(Exception):
     ``exit_code`` is what the CLI returns when the error escapes a
     subcommand; subclasses override it where a different code is
     conventional (2 for bad input data, matching argparse usage errors).
+    ``http_status`` is the matching HTTP response code when the same
+    error escapes a ``repro serve`` request handler: the taxonomy maps
+    onto the wire once, here, so the daemon and the CLI never disagree
+    about what kind of failure something was.
     """
 
     exit_code = 1
+    http_status = 500
 
 
 class WorkerCrashError(ReproError):
@@ -58,6 +63,8 @@ class SeedTimeoutError(ReproError, TimeoutError):
     the batch finished; ``failures`` maps item keys to final errors.
     """
 
+    http_status = 504  # the request ran out of wall clock, not the server
+
     def __init__(self, message: str, failures: Optional[dict] = None) -> None:
         super().__init__(message)
         self.failures = failures or {}
@@ -74,7 +81,8 @@ class ChaosInjectedError(ReproError):
 
 
 class TraceFormatError(ReproError, ValueError):
-    """A trace / bench / obs / journal file failed to parse.
+    """A trace / bench / obs / journal file — or a ``repro serve``
+    request body — failed to parse.
 
     Carries the offending ``path`` plus, when known, the 1-based
     ``line`` and character ``offset`` of the corruption, so "repro
@@ -82,6 +90,7 @@ class TraceFormatError(ReproError, ValueError):
     """
 
     exit_code = 2
+    http_status = 400  # the input was malformed, not the computation
 
     def __init__(
         self,

@@ -48,6 +48,43 @@ __all__ = ["RunPolicy", "ResilientExecutor", "DEFAULT_POLICY"]
 
 logger = logging.getLogger("repro.resilience")
 
+# Warn-once registry: unexpected-but-tolerated conditions (a broken
+# telemetry observer, a worker raising SystemExit) are worth one warning,
+# not one per item per retry — a 10k-seed sweep with a bad observer must
+# not bury the real failures under 10k identical log lines.
+_warned: set = set()
+
+
+def _warn_once(key: str, message: str, *args, **kwargs) -> None:
+    if key in _warned:
+        return
+    _warned.add(key)
+    logger.warning(message + " (warning once)", *args, **kwargs)
+
+
+def _as_charged_exception(exc: BaseException, key: str) -> Exception:
+    """Map a worker-raised exception onto the structured taxonomy.
+
+    Ordinary exceptions pass through untouched (chaos faults, timeouts
+    and user errors already subclass the right things).  A
+    non-``Exception`` ``BaseException`` — a worker calling
+    ``sys.exit()``, a stray ``GeneratorExit`` — must *not* propagate
+    into the orchestrator's retry loop, where it would abort the whole
+    sweep and forfeit wait-freedom; it is wrapped as
+    :class:`WorkerCrashError` and charged to its item like any crash.
+    """
+    if isinstance(exc, Exception):
+        return exc
+    _warn_once(
+        f"base-exception:{type(exc).__name__}",
+        "worker for %r raised %s; treating as a worker crash",
+        key,
+        type(exc).__name__,
+    )
+    return WorkerCrashError(
+        f"{key}: worker raised {type(exc).__name__}: {exc}"
+    )
+
 
 @dataclass(frozen=True)
 class RunPolicy:
@@ -130,8 +167,10 @@ class _MapState:
             try:
                 self.on_failure(self.keys[index], exc, strike)
             except Exception:
-                logger.warning(
-                    "on_failure observer raised; ignoring", exc_info=True
+                _warn_once(
+                    "on_failure-observer",
+                    "on_failure observer raised; ignoring",
+                    exc_info=True,
                 )
         if strike:
             self.strikes[index] += 1
@@ -213,7 +252,10 @@ class ResilientExecutor:
             for process in processes:
                 try:
                     process.terminate()
-                except Exception:  # pragma: no cover - best-effort cleanup
+                except (OSError, ValueError):  # pragma: no cover
+                    # Best-effort cleanup: the process may already be
+                    # dead (OSError) or closed (ValueError); anything
+                    # else is a bug worth surfacing, not swallowing.
                     pass
 
     def shutdown(self, cancel: bool = True) -> None:
@@ -359,9 +401,14 @@ class ResilientExecutor:
                     raise _PoolRestart("a worker process died", in_flight)
                 except KeyboardInterrupt:  # pragma: no cover - signal timing
                     raise
-                except Exception as exc:
+                except BaseException as exc:
+                    # BaseException, not Exception: a worker raising
+                    # SystemExit must charge its own item, not tear down
+                    # the orchestrator mid-sweep (wait-freedom).
                     in_flight.discard(index)
-                    state.charge(index, exc)
+                    state.charge(
+                        index, _as_charged_exception(exc, state.keys[index])
+                    )
                 else:
                     in_flight.discard(index)
                     state.finish(index, value)
@@ -413,8 +460,12 @@ class ResilientExecutor:
                     value = fn(state.items[index])
                 except KeyboardInterrupt:
                     raise
-                except Exception as exc:
-                    state.charge(index, exc)
+                except BaseException as exc:
+                    # Mirror the pooled path: SystemExit et al. from the
+                    # item's own code count as that item's crash.
+                    state.charge(
+                        index, _as_charged_exception(exc, state.keys[index])
+                    )
                     if index in state.incomplete:
                         time.sleep(
                             state.policy.backoff_for(state.attempts[index] - 1)

@@ -1,0 +1,23 @@
+"""``repro serve``: the long-lived gathering-as-a-service daemon.
+
+The simulator is a pure function of ``(scenario, seed, backend, engine,
+code version)`` — the determinism contract the paper's crash-fault model
+rests on and the replay suite enforces bit for bit.  This package turns
+that contract into a service: a stdlib-only HTTP/JSON daemon
+(:mod:`~repro.serve.server`) that keeps a warm worker pool alive across
+requests and memoizes every result in a content-addressed store
+(:mod:`~repro.serve.store`) whose entries are exact and permanent.
+Request/response shapes live in :mod:`~repro.serve.protocol`.
+"""
+
+from .protocol import SERVE_SCHEMA
+from .server import ReproServer, run_selftest
+from .store import ResultStore, result_key
+
+__all__ = [
+    "SERVE_SCHEMA",
+    "ReproServer",
+    "ResultStore",
+    "result_key",
+    "run_selftest",
+]

@@ -1,0 +1,616 @@
+"""The ``repro serve`` daemon: gathering-as-a-service over HTTP/JSON.
+
+Stdlib only (:class:`http.server.ThreadingHTTPServer`), one process,
+four endpoints:
+
+* ``POST /run`` — one ``(scenario, seed)`` simulation; body is the
+  deterministic JSON of :func:`~repro.serve.protocol.run_body`.
+* ``POST /sweep`` — a seed range, streamed as newline-delimited JSON in
+  a chunked response: one run body per seed in seed order, then one
+  deterministic summary line.  Per-seed lines share cache entries with
+  ``/run``.
+* ``GET /healthz`` — liveness (never touches the simulator or store).
+* ``GET /metrics`` — request counters and latency histograms, cache
+  counters, and a ``repro-sweep-metrics-v1`` aggregate of everything
+  the simulations recorded, namespaced per endpoint.
+
+The daemon amortizes exactly the two costs the CLI pays per invocation:
+interpreter + import startup (the process is long-lived) and worker-pool
+construction (one shared :class:`~repro.resilience.ResilientExecutor`
+survives across requests, rebuilding itself after breakage like any
+sweep).  On top of that, determinism makes results cacheable forever:
+repeated traffic is answered from the content-addressed
+:class:`~repro.serve.store.ResultStore` at memory speed with
+byte-identical bodies.
+
+Threading model: the HTTP layer is a thread per connection, but
+simulation work is serialized behind one lock — the pool (or the
+in-process serial executor) is a single shared resource, and the
+per-seed obs payloads are computed from snapshots of the process-global
+registry, which concurrent in-process runs would interleave.  Cache
+hits, ``/healthz`` and ``/metrics`` bypass the lock entirely, so the
+daemon stays responsive while a cold request computes.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from functools import partial
+from http.client import HTTPConnection
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Optional, Sequence, Tuple
+
+from .. import __version__
+from .. import obs as _obs
+from ..experiments.runner import Scenario, run_scenario, executor
+from ..geometry import kernels
+from ..obs.aggregate import Aggregator, namespace_delta
+from ..obs.histogram import Histogram
+from ..obs.metrics import Metrics
+from ..resilience import ReproError, RunPolicy
+from . import protocol
+from .protocol import SERVE_SCHEMA
+from .store import ResultStore, result_key
+
+__all__ = ["ReproServer", "run_selftest"]
+
+logger = logging.getLogger("repro.serve")
+
+#: Seeds resolved (cache + compute) per flushed block of a sweep
+#: stream — small enough for live progress, large enough to amortize
+#: pool dispatch.
+SWEEP_BLOCK = 16
+
+
+class ReproServer:
+    """One daemon instance: HTTP server + warm pool + result store.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`
+    after construction) — what the selftest and the test suite use so
+    parallel CI runs never collide.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        workers: Optional[int] = None,
+        store_root: Optional[str] = None,
+        cache_enabled: bool = True,
+        memory_entries: int = 4096,
+        policy: Optional[RunPolicy] = None,
+    ) -> None:
+        self.policy = policy or RunPolicy()
+        self.store = ResultStore(store_root, memory_entries=memory_entries)
+        self.cache_enabled = cache_enabled
+        self.aggregator = Aggregator()
+        #: Request-level registry (latency histograms, request/cache
+        #: counters), separate from the process-global simulation
+        #: registry so request accounting never leaks into per-seed
+        #: obs payloads.
+        self.request_metrics = Metrics()
+        self._work_lock = threading.Lock()
+        self._pool = None
+        self._pool_cm = None
+        if workers and workers > 1:
+            # The warm pool: built once, shared by every request,
+            # rebuilt transparently by the resilience layer on breakage.
+            self._pool_cm = executor(workers, policy=self.policy)
+            self._pool = self._pool_cm.__enter__()
+        # Per-seed obs payloads (what /metrics aggregates) only exist
+        # while the obs layer is on; the daemon is its natural owner.
+        _obs.enable()
+        self.started = time.monotonic()
+        self._serving = threading.Event()
+        self.httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.app = self
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    def serve_forever(self) -> None:
+        self._serving.set()
+        try:
+            self.httpd.serve_forever()
+        finally:
+            self._serving.clear()
+
+    def close(self) -> None:
+        """Clean shutdown: stop accepting, close the socket, drain the
+        pool.  Idempotent (SIGTERM handler and ``finally`` both call it)."""
+        if self._serving.is_set():
+            # shutdown() blocks on the serve loop exiting; calling it
+            # when serve_forever never ran would wait forever.
+            self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._pool_cm is not None:
+            self._pool_cm.__exit__(None, None, None)
+            self._pool_cm = self._pool = None
+
+    # -- execution ---------------------------------------------------------
+
+    def resolve(
+        self,
+        scenario: Scenario,
+        seeds: Sequence[int],
+        *,
+        use_cache: bool,
+        prefix: str,
+    ) -> List[Tuple[str, str]]:
+        """``(body, cache_state)`` per seed, in seed order.
+
+        The single execution path of both endpoints: look every seed up
+        in the store, compute the misses in one (pooled) map, fill the
+        store, and return deterministic bodies.  ``cache_state`` is
+        ``"hit"`` / ``"miss"`` / ``"bypass"`` per seed.
+        """
+        backend = kernels.get_backend()
+        keys = [
+            result_key(
+                scenario.to_dict(),
+                seed,
+                backend=backend,
+                engine=scenario.engine,
+                code_version=__version__,
+            )
+            for seed in seeds
+        ]
+        resolved: dict = {}
+        todo: List[int] = []
+        todo_keys: List[str] = []
+        for seed, key in zip(seeds, keys):
+            body = self.store.get(key) if use_cache else None
+            if body is not None:
+                resolved[seed] = (body, "hit")
+            else:
+                todo.append(seed)
+                todo_keys.append(key)
+        if todo:
+            results = self._execute(scenario, todo, prefix=prefix)
+            state = "miss" if use_cache else "bypass"
+            for seed, key, result in zip(todo, todo_keys, results):
+                body = protocol.run_body(
+                    key,
+                    scenario,
+                    seed,
+                    result,
+                    backend=backend,
+                    code_version=__version__,
+                )
+                if use_cache:
+                    self.store.put(key, body)
+                resolved[seed] = (body, state)
+        return [resolved[seed] for seed in seeds]
+
+    def _execute(
+        self, scenario: Scenario, seeds: Sequence[int], *, prefix: str
+    ) -> List:
+        """Run the missing seeds through the warm pool (or serially,
+        still under the retry machinery) and fold their obs payloads
+        into the aggregator under the endpoint's namespace."""
+        from ..experiments.runner import parallel_map
+
+        label = scenario.label()
+        with self._work_lock:
+            results = parallel_map(
+                partial(run_scenario, scenario),
+                list(seeds),
+                pool=self._pool,
+                policy=self.policy,
+                keys=[f"{label}#seed{seed}" for seed in seeds],
+            )
+            for seed, result in zip(seeds, results):
+                self._account(seed, result, prefix)
+        return results
+
+    def _account(self, seed: int, result, prefix: str) -> None:
+        agg = self.aggregator
+        agg.total_seeds += 1
+        agg.done += 1
+        agg.rounds += result.rounds
+        agg.verdicts[result.verdict] = agg.verdicts.get(result.verdict, 0) + 1
+        payload = getattr(result, "obs", None)
+        if payload is not None:
+            agg.workers.add(payload.get("pid"))
+            agg.span_count += len(payload.get("spans", ()))
+            agg.add_metrics(
+                namespace_delta(payload.get("metrics", {}), prefix)
+            )
+
+    # -- request accounting ------------------------------------------------
+
+    def observe_request(
+        self, endpoint: str, elapsed: float, cache_state: Optional[str]
+    ) -> None:
+        self.request_metrics.inc(f"serve.{endpoint}.requests")
+        self.request_metrics.observe_hist(
+            f"serve.{endpoint}.latency_seconds", elapsed
+        )
+        if cache_state is not None:
+            self.request_metrics.inc(f"serve.cache.{cache_state}")
+
+    def observe_error(self, endpoint: str, status: int) -> None:
+        self.request_metrics.inc(f"serve.{endpoint}.errors")
+        self.request_metrics.inc(f"serve.errors.status.{status}")
+
+    def metrics_document(self) -> dict:
+        """The ``GET /metrics`` body: request layer + cache + sweep
+        aggregate (``repro-sweep-metrics-v1``), in one document."""
+        snapshot = self.request_metrics.snapshot()
+        hists = {}
+        for name, data in snapshot.get("hists", {}).items():
+            hist = Histogram.from_dict(data)
+            data = dict(data)
+            data["mean"] = hist.mean
+            data["p50"] = hist.quantile(0.5)
+            data["p99"] = hist.quantile(0.99)
+            hists[name] = data
+        return {
+            "schema": "repro-serve-metrics-v1",
+            "version": __version__,
+            "uptime_s": time.monotonic() - self.started,
+            "backend": kernels.get_backend(),
+            "requests": dict(sorted(snapshot.get("counters", {}).items())),
+            "request_latency": hists,
+            "cache": self.store.counters(),
+            "sweep": self.aggregator.to_dict(),
+        }
+
+    def healthz_document(self) -> dict:
+        return {
+            "schema": SERVE_SCHEMA,
+            "status": "ok",
+            "version": __version__,
+            "backend": kernels.get_backend(),
+            "uptime_s": time.monotonic() - self.started,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Per-connection handler; all state lives on ``self.server.app``."""
+
+    server_version = f"repro-serve/{__version__}"
+    # HTTP/1.1 for chunked sweep streams and keep-alive clients.
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # Access logs belong to the logging tree, not stderr.
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > protocol.MAX_BODY_BYTES:
+            # Refuse before reading: don't buffer an oversized body
+            # just to reject it.
+            from ..resilience import TraceFormatError
+
+            raise TraceFormatError(
+                f"request body of {length} bytes exceeds the "
+                f"{protocol.MAX_BODY_BYTES}-byte limit",
+                path="<request>",
+            )
+        return self.rfile.read(length) if length else b""
+
+    def _send_json(
+        self,
+        status: int,
+        body: str,
+        *,
+        cache_state: Optional[str] = None,
+    ) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.send_header("X-Repro-Schema", SERVE_SCHEMA)
+        if cache_state is not None:
+            self.send_header("X-Repro-Cache", cache_state)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_error_json(self, endpoint: str, exc: BaseException) -> None:
+        status = getattr(exc, "http_status", 500)
+        self.server.app.observe_error(endpoint, status)
+        self._send_json(status, protocol.error_body(exc, status=status))
+
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
+
+    def _end_chunks(self) -> None:
+        self.wfile.write(b"0\r\n\r\n")
+
+    # -- endpoints ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        app = self.server.app
+        started = time.perf_counter()
+        if self.path == "/healthz":
+            body = json.dumps(app.healthz_document(), sort_keys=True) + "\n"
+            self._send_json(200, body)
+            app.observe_request("healthz", time.perf_counter() - started, None)
+            return
+        if self.path == "/metrics":
+            body = json.dumps(app.metrics_document(), sort_keys=True) + "\n"
+            self._send_json(200, body)
+            app.observe_request("metrics", time.perf_counter() - started, None)
+            return
+        self._send_json(
+            404,
+            protocol.error_body(
+                ReproError(f"no such endpoint: GET {self.path}"), status=404
+            ),
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        app = self.server.app
+        started = time.perf_counter()
+        if self.path == "/run":
+            try:
+                request = protocol.parse_run_request(
+                    protocol.parse_json_body(
+                        self._read_body(), where="POST /run"
+                    )
+                )
+                use_cache = app.cache_enabled and request.use_cache
+                [(body, cache_state)] = app.resolve(
+                    request.scenario,
+                    [request.seed],
+                    use_cache=use_cache,
+                    prefix="serve.run",
+                )
+            except ReproError as exc:
+                self._send_error_json("run", exc)
+                return
+            except Exception as exc:
+                # The HTTP boundary: anything unanticipated becomes a
+                # structured 500, never a dead connection + traceback.
+                logger.exception("POST /run failed")
+                self._send_error_json(
+                    "run",
+                    ReproError(
+                        f"internal error: {type(exc).__name__}: {exc}"
+                    ),
+                )
+                return
+            # Account *before* the last byte goes out: a client may
+            # read the response and immediately scrape /metrics, and
+            # its own request must already be there.
+            app.observe_request(
+                "run", time.perf_counter() - started, cache_state
+            )
+            self._send_json(200, body, cache_state=cache_state)
+            return
+        if self.path == "/sweep":
+            self._handle_sweep(started)
+            return
+        self._send_json(
+            404,
+            protocol.error_body(
+                ReproError(f"no such endpoint: POST {self.path}"), status=404
+            ),
+        )
+
+    def _handle_sweep(self, started: float) -> None:
+        app = self.server.app
+        try:
+            request = protocol.parse_sweep_request(
+                protocol.parse_json_body(
+                    self._read_body(), where="POST /sweep"
+                )
+            )
+        except ReproError as exc:
+            self._send_error_json("sweep", exc)
+            return
+        use_cache = app.cache_enabled and request.use_cache
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("X-Repro-Schema", SERVE_SCHEMA)
+        self.end_headers()
+        verdicts: dict = {}
+        hits = misses = 0
+        try:
+            # Stream block by block, in seed order: progress is live,
+            # but the byte stream is a pure function of the request.
+            for i in range(0, len(request.seeds), SWEEP_BLOCK):
+                block = request.seeds[i : i + SWEEP_BLOCK]
+                for body, cache_state in app.resolve(
+                    request.scenario,
+                    block,
+                    use_cache=use_cache,
+                    prefix="serve.sweep",
+                ):
+                    verdict = json.loads(body)["result"]["verdict"]
+                    verdicts[verdict] = verdicts.get(verdict, 0) + 1
+                    hits += cache_state == "hit"
+                    misses += cache_state != "hit"
+                    self._write_chunk(body.encode("utf-8"))
+        except ReproError as exc:
+            # Headers are gone; the error becomes the stream's last
+            # line, and the chunked coding still terminates cleanly.
+            app.observe_error("sweep", getattr(exc, "http_status", 500))
+            self._write_chunk(protocol.error_body(exc).encode("utf-8"))
+            self._end_chunks()
+            return
+        except Exception as exc:
+            logger.exception("POST /sweep failed mid-stream")
+            app.observe_error("sweep", 500)
+            self._write_chunk(
+                protocol.error_body(
+                    ReproError(
+                        f"internal error: {type(exc).__name__}: {exc}"
+                    )
+                ).encode("utf-8")
+            )
+            self._end_chunks()
+            return
+        cache_state = None
+        if use_cache:
+            cache_state = "hit" if misses == 0 else "miss"
+        # Account before the terminating chunk: once the client's read
+        # completes, this request is visible in /metrics.
+        app.observe_request(
+            "sweep", time.perf_counter() - started, cache_state
+        )
+        self._write_chunk(
+            protocol.sweep_summary_line(
+                request.scenario, request.seeds, verdicts
+            ).encode("utf-8")
+        )
+        self._end_chunks()
+
+
+# -- selftest -----------------------------------------------------------------
+
+
+def _request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[dict] = None,
+) -> Tuple[int, dict, bytes]:
+    """One HTTP round trip -> (status, headers dict, body bytes)."""
+    conn = HTTPConnection(host, port, timeout=120)
+    try:
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = {} if body is None else {"Content-Type": "application/json"}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        data = response.read()
+        return response.status, dict(response.getheaders()), data
+    finally:
+        conn.close()
+
+
+def run_selftest(
+    workers: Optional[int] = None,
+    store_root: Optional[str] = None,
+    *,
+    echo=print,
+) -> int:
+    """End-to-end daemon exercise on an ephemeral port, no state leaks.
+
+    Asserts the PR's acceptance properties directly: a repeated
+    ``POST /run`` is a cache hit with a byte-identical body, the sweep
+    stream repeats byte-identically, the cold/warm latency ratio
+    clears 10x, errors map onto taxonomy HTTP statuses, and ``/metrics``
+    records the hits.  Returns a process exit code.
+    """
+    # Heavy enough that the cold run dwarfs HTTP round-trip overhead
+    # (the warm path's floor), so the >= 10x ratio check has margin.
+    scenario = {
+        "workload": "random",
+        "n": 10,
+        "f": 2,
+        "crashes": "random",
+        "max_rounds": 5_000,
+    }
+    server = ReproServer(
+        workers=workers, store_root=store_root, policy=RunPolicy(retries=1)
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.host, server.port
+    failures: List[str] = []
+
+    def check(condition: bool, label: str) -> None:
+        echo(f"  {'ok' if condition else 'FAIL'}: {label}")
+        if not condition:
+            failures.append(label)
+
+    try:
+        echo(f"selftest daemon on http://{host}:{port}")
+
+        status, _, body = _request(host, port, "GET", "/healthz")
+        check(
+            status == 200 and json.loads(body)["status"] == "ok",
+            "GET /healthz",
+        )
+
+        t0 = time.perf_counter()
+        status, headers, cold = _request(
+            host, port, "POST", "/run", {"scenario": scenario, "seed": 1}
+        )
+        cold_s = time.perf_counter() - t0
+        check(status == 200, "POST /run (cold)")
+        check(headers.get("X-Repro-Cache") == "miss", "cold run is a miss")
+
+        t0 = time.perf_counter()
+        status, headers, warm = _request(
+            host, port, "POST", "/run", {"scenario": scenario, "seed": 1}
+        )
+        warm_s = time.perf_counter() - t0
+        check(status == 200, "POST /run (warm)")
+        check(headers.get("X-Repro-Cache") == "hit", "warm run is a hit")
+        check(warm == cold, "warm body is byte-identical to cold")
+        ratio = cold_s / warm_s if warm_s > 0 else float("inf")
+        echo(
+            f"  latency: cold {cold_s * 1e3:.1f}ms, warm "
+            f"{warm_s * 1e3:.1f}ms -> {ratio:.0f}x"
+        )
+        check(ratio >= 10.0, "cold/warm latency ratio >= 10x")
+
+        status, headers, _ = _request(
+            host,
+            port,
+            "POST",
+            "/run",
+            {"scenario": scenario, "seed": 1, "cache": False},
+        )
+        check(
+            status == 200 and headers.get("X-Repro-Cache") == "bypass",
+            "cache:false bypasses the store",
+        )
+
+        sweep = {"scenario": scenario, "seed_start": 0, "seed_count": 4}
+        status, _, first = _request(host, port, "POST", "/sweep", sweep)
+        check(
+            status == 200 and first.count(b"\n") == 5,
+            "POST /sweep streams 4 seeds + summary",
+        )
+        status, _, second = _request(host, port, "POST", "/sweep", sweep)
+        check(second == first, "repeated sweep is byte-identical")
+
+        status, _, body = _request(
+            host, port, "POST", "/run", {"scenario": {"workload": "nope"}}
+        )
+        check(
+            status == 400 and json.loads(body)["kind"] == "error",
+            "malformed scenario -> structured 400",
+        )
+
+        status, _, body = _request(host, port, "GET", "/metrics")
+        document = json.loads(body)
+        cache = document.get("cache", {})
+        check(status == 200, "GET /metrics")
+        check(
+            cache.get("hits", 0) >= 5,
+            f"cache hit counter recorded ({cache.get('hits')} hits)",
+        )
+        check(
+            "serve.run.latency_seconds" in document.get("request_latency", {}),
+            "per-endpoint latency histogram present",
+        )
+    finally:
+        server.close()
+
+    if failures:
+        echo(f"selftest FAILED: {len(failures)} check(s)")
+        return 1
+    echo("selftest ok")
+    return 0

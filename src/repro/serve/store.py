@@ -1,0 +1,160 @@
+"""Content-addressed result store — the daemon's permanent memory.
+
+Every WAIT-FREE-GATHER run is a pure function of ``(scenario, seed,
+backend, engine, code version)`` — the determinism the paper's
+crash-fault model guarantees and the replay suite enforces bit for bit.
+That purity makes memoization *sound forever*: a cached result is not a
+stale approximation that might need revalidating, it is the exact bytes
+any future computation of the same key would produce.  The store
+therefore never expires entries and never revalidates; keys include the
+package version, so a code change simply addresses a different entry.
+
+Two layers, both optional:
+
+* an in-memory LRU (``memory_entries`` newest keys) serving repeated
+  traffic at dict-lookup speed;
+* an on-disk JSON layer under ``root`` (sharded by key prefix), written
+  through :func:`~repro.resilience.atomic.atomic_write` — temp file +
+  fsync + atomic rename — so concurrent daemons sharing one store
+  directory can never serve a torn read: a reader sees either a whole
+  document or no file at all.
+
+Values are the exact serialized response body (a ``str``), not a parsed
+document: what the cache returns is byte-identical to what the first
+computation sent, which is the property the CI serve job asserts.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from ..resilience import atomic_write
+from ..sim.trace import scenario_hash
+
+__all__ = ["ResultStore", "result_key"]
+
+
+def result_key(
+    scenario: Optional[dict],
+    seed: int,
+    *,
+    backend: str,
+    engine: str,
+    code_version: str,
+) -> str:
+    """The content address of one run (sha256 hex, 64 chars)."""
+    return scenario_hash(
+        scenario,
+        seed=seed,
+        backend=backend,
+        engine=engine,
+        code_version=code_version,
+    )
+
+
+class ResultStore:
+    """In-memory LRU over an optional on-disk JSON layer.
+
+    Thread-safe: the daemon handles requests on a thread per connection,
+    and the lock only guards the ordered dict — disk I/O happens outside
+    it so a slow write never blocks a memory-speed hit.
+
+    ``hits`` / ``misses`` / ``disk_hits`` / ``stores`` are plain counters
+    read by ``GET /metrics`` and the ``--selftest`` assertions; they make
+    the cache auditable without scraping logs.
+    """
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        *,
+        memory_entries: int = 4096,
+    ) -> None:
+        if memory_entries < 1:
+            raise ValueError("memory_entries must be >= 1")
+        self.root = root
+        self.memory_entries = memory_entries
+        self._memory: "OrderedDict[str, str]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+        self.stores = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def _path(self, key: str) -> str:
+        # Two-character shard, mirroring git's object layout, so a
+        # million-entry store never piles every file into one directory.
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[str]:
+        """The cached body for ``key``, or ``None`` on a miss.
+
+        A memory hit refreshes the key's LRU position.  A disk hit is
+        promoted into memory so repeated traffic converges to memory
+        speed even after a daemon restart.
+        """
+        with self._lock:
+            body = self._memory.get(key)
+            if body is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return body
+        if self.root is not None:
+            try:
+                with open(self._path(key), "r", encoding="utf-8") as handle:
+                    body = handle.read()
+            except FileNotFoundError:
+                body = None
+            except OSError:
+                # A transient read failure is a miss, never an error:
+                # the value is recomputable by definition.
+                body = None
+            if body is not None:
+                with self._lock:
+                    self.hits += 1
+                    self.disk_hits += 1
+                    self._remember(key, body)
+                return body
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def put(self, key: str, body: str) -> None:
+        """Store one computed body under its content address.
+
+        The disk write is atomic (whole-or-nothing), so two daemons
+        racing to store the same key both land complete documents —
+        and by determinism, identical ones, so the race has no loser.
+        """
+        with self._lock:
+            self.stores += 1
+            self._remember(key, body)
+        if self.root is not None:
+            atomic_write(self._path(key), body)
+
+    def _remember(self, key: str, body: str) -> None:
+        # Caller holds the lock.
+        self._memory[key] = body
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+
+    def counters(self) -> dict:
+        """Auditable cache counters (the ``/metrics`` cache block)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "disk_hits": self.disk_hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "memory_entries": len(self._memory),
+                "memory_limit": self.memory_entries,
+                "disk": self.root,
+            }

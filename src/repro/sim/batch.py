@@ -336,11 +336,11 @@ class BatchedSimulation:
         for s in sims:
             config = configs[s]
             support = config.support
-            if "ray_loads" not in config._cache and kernels.enabled_for(
+            if config.memo_get("ray_loads") is None and kernels.enabled_for(
                 len(support)
             ):
                 loads_group.append((s, config))
-            if "views" not in config._cache and kernels.enabled_for(config.n):
+            if config.memo_get("views") is None and kernels.enabled_for(config.n):
                 if len(support) > 1:
                     c = config.sec_center()
                     center_points = [

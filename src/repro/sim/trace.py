@@ -23,6 +23,7 @@ what v1 writers recorded under.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -31,7 +32,15 @@ from ..core import ConfigClass, Configuration
 from ..geometry import DEFAULT_TOLERANCE, Point, Tolerance, kernels
 from ..resilience.errors import TraceFormatError
 
-__all__ = ["RoundRecord", "Trace", "TraceMeta", "SCHEMA_V1", "SCHEMA_V2"]
+__all__ = [
+    "RoundRecord",
+    "Trace",
+    "TraceMeta",
+    "SCHEMA_V1",
+    "SCHEMA_V2",
+    "canonical_scenario_json",
+    "scenario_hash",
+]
 
 #: Legacy schema identifier: records only, default tolerance, no meta.
 SCHEMA_V1 = "repro-trace-v1"
@@ -44,6 +53,64 @@ def _package_version() -> str:
     from .. import __version__  # deferred: repro/__init__ imports us
 
     return __version__
+
+
+def _canonical_value(value):
+    """Normalize a JSON value for content addressing.
+
+    Two textual spellings of the same scenario must hash identically:
+    object key order is irrelevant (sorted on dump) and so is float
+    formatting — ``8``, ``8.0`` and ``8.00`` all denote the same team
+    size, so integral floats collapse to ints before serialization.
+    Non-integral floats serialize via ``repr`` (the json default), which
+    round-trips float64 exactly.
+    """
+    if isinstance(value, dict):
+        return {str(k): _canonical_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(v) for v in value]
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def canonical_scenario_json(scenario: Optional[dict]) -> str:
+    """The canonical JSON text of a scenario dict.
+
+    Key-order and float-formatting invariant (see :func:`_canonical_value`),
+    minimal separators, sorted keys — the exact byte string that feeds
+    :func:`scenario_hash`, so any two requests describing the same
+    scenario content-address to the same cache entry.
+    """
+    return json.dumps(
+        _canonical_value(scenario), sort_keys=True, separators=(",", ":")
+    )
+
+
+def scenario_hash(
+    scenario: Optional[dict],
+    *,
+    seed: int,
+    backend: str,
+    engine: str,
+    code_version: str,
+) -> str:
+    """Content address of one deterministic run.
+
+    A run is a pure function of ``(scenario, seed, backend, engine,
+    code version)`` — the crash-fault model's determinism guarantee —
+    so this sha256 names its result forever.  ``engine`` is hashed
+    explicitly even though the canonical scenario dict carries it too:
+    callers hashing partial scenario dicts (or ``None``) still get
+    engine-distinct keys.
+    """
+    digest = hashlib.sha256()
+    digest.update(canonical_scenario_json(scenario).encode("utf-8"))
+    digest.update(f"|seed={seed}|backend={backend}|engine={engine}"
+                  f"|version={code_version}".encode("utf-8"))
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,160 @@
+"""SIGKILL a *batched* sweep mid-chunk, resume it, require bit identity.
+
+Mirror of ``test_kill_resume.py`` for the batched engine, where the
+distributed/retried/killed work unit is a seed *chunk* but the journal
+records per seed.  Three extra hazards over the scalar case, all
+exercised here:
+
+* the kill can land while a chunk's seeds are being appended, leaving a
+  torn final record — we inject one deterministically on top of the
+  SIGKILL to make sure the resume truncates it instead of choking;
+* a resume may use a *different* ``--batch-size``, re-chunking the
+  remaining seeds — no seed may be double-recorded and results must be
+  chunk-invariant;
+* journaled seeds must be excluded *before* chunking, else a resumed
+  chunk would recompute (and re-append) completed seeds.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+from repro.experiments.runner import Scenario, run_batch
+from repro.resilience import ChaosPolicy, SweepJournal
+
+SCENARIO = Scenario(
+    workload="asymmetric",
+    n=6,
+    f=1,
+    scheduler="round-robin",
+    crashes="after-move",
+    movement="rigid",
+    max_rounds=2_000,
+    engine="batched",
+)
+
+N_SEEDS = 8
+
+SWEEP_ARGS = [
+    "sweep",
+    "--workload", "asymmetric", "--n", "6", "--f", "1",
+    "--scheduler", "round-robin", "--crashes", "after-move",
+    "--movement", "rigid", "--max-rounds", "2000",
+    "--engine", "batched",
+    "--seeds", str(N_SEEDS),
+]
+
+
+def _env(**extra):
+    repo_src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env = dict(os.environ)
+    env.pop("REPRO_CHAOS", None)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = os.path.abspath(repo_src) + (
+        os.pathsep + existing if existing else ""
+    )
+    env.update(extra)
+    return env
+
+
+def _journal_entries(path):
+    """Seeds of the complete (newline-terminated) journal entry lines."""
+    if not os.path.exists(path):
+        return []
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    complete = raw[: raw.rfind(b"\n") + 1]
+    lines = [line for line in complete.split(b"\n") if line]
+    return [json.loads(line)["seed"] for line in lines[1:]]
+
+
+class TestBatchedKillResume:
+    def test_sigkilled_batched_sweep_resumes_bit_identically(self, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+
+        # Phase 1: sweep with --batch-size 2 (4 chunks of 2 seeds) and a
+        # chaos delay slowing every *chunk* attempt, wait until at least
+        # one chunk (2 seeds) is checkpointed, then SIGKILL.
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", *SWEEP_ARGS,
+                "--batch-size", "2", "--journal", journal,
+            ],
+            env=_env(REPRO_CHAOS="seed=1,delay=1.0,delay_s=0.6"),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            deadline = time.monotonic() + 120
+            while len(_journal_entries(journal)) < 2:
+                if proc.poll() is not None or time.monotonic() > deadline:
+                    break
+                time.sleep(0.02)
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup
+                proc.kill()
+                proc.wait(timeout=30)
+
+        before = _journal_entries(journal)
+        assert before, "no seed was checkpointed before the kill"
+        assert len(before) < N_SEEDS, (
+            "sweep finished before it could be killed; the chaos delay "
+            "should have made that impossible"
+        )
+        with open(journal, "rb") as handle:
+            raw_before = handle.read()
+        valid_prefix = raw_before[: raw_before.rfind(b"\n") + 1]
+
+        # A SIGKILL mid-chunk can tear the record being appended.  The
+        # kill above may or may not have landed inside a write, so make
+        # the hazard deterministic: append half a record, no newline.
+        torn = json.dumps({"seed": 999_999, "result": {"v": 1}})[:-8]
+        with open(journal, "ab") as handle:
+            handle.write(torn.encode())
+
+        # Phase 2: resume without chaos and with a *different* batch
+        # size, re-chunking the remaining seeds.  The torn tail must be
+        # discarded, completed seeds skipped (bytes preserved verbatim),
+        # and no seed recorded twice.
+        completed = subprocess.run(
+            [
+                sys.executable, "-m", "repro", *SWEEP_ARGS,
+                "--batch-size", "3", "--journal", journal, "--resume",
+            ],
+            env=_env(),
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert f"resumed    : {len(before)} seed(s)" in completed.stdout
+
+        with open(journal, "rb") as handle:
+            raw_after = handle.read()
+        assert raw_after.startswith(valid_prefix)
+        assert torn.encode() not in raw_after
+        entries = _journal_entries(journal)
+        assert entries == list(range(N_SEEDS))
+        assert len(entries) == len(set(entries)), "a seed was double-recorded"
+
+        # Phase 3: bit-identical to a clean in-process batched run with
+        # yet another chunking (results are chunk-invariant).
+        baseline = run_batch(
+            SCENARIO, range(N_SEEDS), chaos=ChaosPolicy(), batch_size=5
+        )
+        recovered = SweepJournal.peek(journal, SCENARIO.to_dict())
+        for seed, expected in zip(range(N_SEEDS), baseline):
+            got = recovered[seed]
+            assert got.verdict == expected.verdict
+            assert got.rounds == expected.rounds
+            assert got.final_positions == expected.final_positions
+            assert got.live_ids == expected.live_ids
+            assert got.crashed_ids == expected.crashed_ids
+            assert got.gathering_point == expected.gathering_point
+            assert got.total_distance == expected.total_distance
+            assert got.classes_seen == expected.classes_seen

@@ -1,0 +1,80 @@
+"""Test-side HTTP client for the ``repro serve`` daemon.
+
+``serving()`` runs a real :class:`~repro.serve.server.ReproServer` on an
+ephemeral port inside the test process (one background thread, no
+subprocess, no lingering sockets across CI runs) and yields a
+:class:`ServeClient` speaking plain ``http.client`` — the daemon is
+exercised over an actual TCP socket, chunked sweep stream included.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from http.client import HTTPConnection
+from typing import Iterator, Optional, Tuple
+
+from repro.serve import ReproServer
+
+
+class ServeClient:
+    """Minimal blocking client: one connection per request."""
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+    ) -> Tuple[int, dict, bytes]:
+        """-> ``(status, headers, raw body)``; chunked bodies are
+        already de-chunked by ``http.client``."""
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None if payload is None else json.dumps(payload).encode()
+            headers = (
+                {} if body is None else {"Content-Type": "application/json"}
+            )
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, dict(response.getheaders()), response.read()
+        finally:
+            conn.close()
+
+    def run(
+        self, scenario: dict, seed: int = 0, **extra
+    ) -> Tuple[int, dict, bytes]:
+        return self.request(
+            "POST", "/run", {"scenario": scenario, "seed": seed, **extra}
+        )
+
+    def sweep(self, scenario: dict, **fields) -> Tuple[int, dict, bytes]:
+        return self.request("POST", "/sweep", {"scenario": scenario, **fields})
+
+    def healthz(self) -> Tuple[int, dict, bytes]:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        status, _, body = self.request("GET", "/metrics")
+        assert status == 200, body
+        return json.loads(body)
+
+
+@contextmanager
+def serving(**server_kwargs) -> Iterator[ServeClient]:
+    """A live daemon on an ephemeral port, torn down on exit."""
+    server = ReproServer(port=0, **server_kwargs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServeClient(server.host, server.port)
+        client.server = server  # tests poke at the store/aggregator
+        yield client
+    finally:
+        server.close()
+        thread.join(timeout=10)

@@ -1,0 +1,126 @@
+"""Wire-protocol unit tests: parsing strictness, body determinism."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import Scenario, run_scenario
+from repro.resilience import (
+    ReproError,
+    SeedTimeoutError,
+    TraceFormatError,
+    WorkerCrashError,
+)
+from repro.serve import protocol
+
+
+SCENARIO = {"workload": "gathered", "n": 4, "crashes": "none", "f": 0}
+
+
+class TestParseJsonBody:
+    def test_valid(self):
+        assert protocol.parse_json_body(b'{"a": 1}') == {"a": 1}
+
+    def test_not_json_is_400(self):
+        with pytest.raises(TraceFormatError) as err:
+            protocol.parse_json_body(b"{nope")
+        assert err.value.http_status == 400
+
+    def test_non_object_rejected(self):
+        with pytest.raises(TraceFormatError):
+            protocol.parse_json_body(b"[1, 2]")
+
+    def test_oversized_body_rejected(self):
+        raw = b" " * (protocol.MAX_BODY_BYTES + 1)
+        with pytest.raises(TraceFormatError):
+            protocol.parse_json_body(raw)
+
+
+class TestParseRunRequest:
+    def test_defaults(self):
+        request = protocol.parse_run_request({"scenario": SCENARIO})
+        assert request.seed == 0
+        assert request.use_cache is True
+        assert request.scenario.workload == "gathered"
+
+    def test_missing_scenario(self):
+        with pytest.raises(TraceFormatError):
+            protocol.parse_run_request({"seed": 1})
+
+    def test_unknown_scenario_field_rejected(self):
+        bad = dict(SCENARIO, robots=9)
+        with pytest.raises(TraceFormatError):
+            protocol.parse_run_request({"scenario": bad})
+
+    def test_bool_seed_rejected(self):
+        with pytest.raises(TraceFormatError):
+            protocol.parse_run_request({"scenario": SCENARIO, "seed": True})
+
+    def test_cache_opt_out(self):
+        request = protocol.parse_run_request(
+            {"scenario": SCENARIO, "cache": False}
+        )
+        assert request.use_cache is False
+
+
+class TestParseSweepRequest:
+    def test_seed_range(self):
+        request = protocol.parse_sweep_request(
+            {"scenario": SCENARIO, "seed_start": 5, "seed_count": 3}
+        )
+        assert request.seeds == [5, 6, 7]
+
+    def test_explicit_seeds(self):
+        request = protocol.parse_sweep_request(
+            {"scenario": SCENARIO, "seeds": [3, 1, 9]}
+        )
+        assert request.seeds == [3, 1, 9]
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(TraceFormatError):
+            protocol.parse_sweep_request({"scenario": SCENARIO, "seeds": []})
+
+    def test_non_int_seeds_rejected(self):
+        with pytest.raises(TraceFormatError):
+            protocol.parse_sweep_request(
+                {"scenario": SCENARIO, "seeds": [1, "2"]}
+            )
+
+    def test_seed_limit_enforced(self):
+        with pytest.raises(TraceFormatError):
+            protocol.parse_sweep_request(
+                {
+                    "scenario": SCENARIO,
+                    "seed_count": protocol.MAX_SWEEP_SEEDS + 1,
+                }
+            )
+
+
+class TestBodies:
+    def test_run_body_is_deterministic_and_one_line(self):
+        scenario = Scenario.from_dict(SCENARIO)
+        result = run_scenario(scenario, 0)
+        one = protocol.run_body(
+            "k" * 64, scenario, 0, result, backend="python", code_version="1"
+        )
+        two = protocol.run_body(
+            "k" * 64, scenario, 0, result, backend="python", code_version="1"
+        )
+        assert one == two
+        assert one.endswith("\n") and one.count("\n") == 1
+        parsed = json.loads(one)
+        assert parsed["schema"] == protocol.SERVE_SCHEMA
+        assert parsed["result"]["verdict"] == result.verdict
+
+    def test_error_body_maps_taxonomy_statuses(self):
+        cases = [
+            (TraceFormatError("bad"), 400),
+            (SeedTimeoutError("slow"), 504),
+            (WorkerCrashError("boom"), 500),
+            (ReproError("generic"), 500),
+        ]
+        for exc, status in cases:
+            parsed = json.loads(protocol.error_body(exc))
+            assert parsed["kind"] == "error"
+            assert parsed["status"] == status
+            assert parsed["error"] == type(exc).__name__

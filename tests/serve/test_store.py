@@ -1,0 +1,191 @@
+"""Content-addressed result store: key canonicalization + torn reads.
+
+The two properties the serving layer's correctness rests on:
+
+* the content address is a function of the scenario's *meaning*, not
+  its JSON spelling — key order and float formatting must not change
+  the hash (else identical requests would miss the cache); and
+* two daemons sharing one on-disk store never serve a torn read — a
+  reader sees a whole document or nothing, because every write goes
+  through ``atomic_write`` (temp file + fsync + rename).
+"""
+
+import json
+import random
+import threading
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serve.store import ResultStore, result_key
+
+SCENARIO = {
+    "workload": "random",
+    "n": 8,
+    "algorithm": "wait-free-gather",
+    "scheduler": "random",
+    "crashes": "random",
+    "f": 2,
+    "movement": "random-stop",
+    "max_rounds": 20000,
+    "frames": "random",
+    "halt_on_bivalent": True,
+    "engine": "atom",
+}
+
+CONTEXT = dict(backend="python", engine="atom", code_version="1.0.0")
+
+
+class TestKeyCanonicalization:
+    @given(st.randoms(use_true_random=False))
+    def test_key_order_is_irrelevant(self, rng):
+        items = list(SCENARIO.items())
+        rng.shuffle(items)
+        shuffled = dict(items)
+        assert shuffled == SCENARIO  # same mapping, different insert order
+        assert result_key(shuffled, 7, **CONTEXT) == result_key(
+            SCENARIO, 7, **CONTEXT
+        )
+
+    def test_integral_floats_collapse_to_ints(self):
+        # A client sending {"n": 8.0} (say, via a float-happy JSON
+        # encoder) must hit the same cache entry as {"n": 8}.
+        floaty = dict(SCENARIO, n=8.0, f=2.0, max_rounds=20000.0)
+        assert result_key(floaty, 0, **CONTEXT) == result_key(
+            SCENARIO, 0, **CONTEXT
+        )
+
+    def test_json_formatting_is_irrelevant(self):
+        # The same scenario spelled three ways on the wire.
+        spellings = [
+            '{"n": 8, "workload": "random"}',
+            '{"workload": "random", "n": 8.0}',
+            '{ "workload" : "random",\n  "n" : 8.00 }',
+        ]
+        keys = {
+            result_key(json.loads(text), 0, **CONTEXT) for text in spellings
+        }
+        assert len(keys) == 1
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.one_of(
+                st.integers(-1000, 1000),
+                st.booleans(),
+                st.text(max_size=8),
+                st.floats(allow_nan=False, allow_infinity=False),
+            ),
+            max_size=6,
+        ),
+        st.integers(0, 2**31),
+    )
+    def test_distinct_inputs_distinct_keys(self, scenario, seed):
+        # Sanity direction: the key actually depends on its inputs.
+        base = result_key(scenario, seed, **CONTEXT)
+        assert base != result_key(scenario, seed + 1, **CONTEXT)
+        assert base != result_key(
+            scenario, seed, backend="numpy", engine="atom", code_version="1.0.0"
+        )
+        assert base != result_key(
+            scenario, seed, backend="python", engine="atom", code_version="2"
+        )
+
+    def test_boolean_not_conflated_with_int(self):
+        # canonical JSON keeps True distinct from 1.
+        a = result_key({"halt": True}, 0, **CONTEXT)
+        b = result_key({"halt": 1}, 0, **CONTEXT)
+        assert a != b
+
+
+class TestStoreSemantics:
+    def test_memory_roundtrip_and_counters(self):
+        store = ResultStore()
+        key = result_key(SCENARIO, 0, **CONTEXT)
+        assert store.get(key) is None
+        store.put(key, '{"x":1}\n')
+        assert store.get(key) == '{"x":1}\n'
+        counters = store.counters()
+        assert counters["hits"] == 1
+        assert counters["misses"] == 1
+        assert counters["stores"] == 1
+
+    def test_lru_evicts_oldest(self):
+        store = ResultStore(memory_entries=2)
+        store.put("a" * 64, "A")
+        store.put("b" * 64, "B")
+        assert store.get("a" * 64) == "A"  # refreshes a
+        store.put("c" * 64, "C")  # evicts b
+        assert store.get("b" * 64) is None
+        assert store.get("a" * 64) == "A"
+        assert store.get("c" * 64) == "C"
+
+    def test_disk_survives_new_instance(self, tmp_path):
+        root = str(tmp_path / "store")
+        first = ResultStore(root)
+        key = result_key(SCENARIO, 3, **CONTEXT)
+        first.put(key, '{"r":"ok"}\n')
+        # A second daemon (fresh process in real life) sees the entry.
+        second = ResultStore(root)
+        assert second.get(key) == '{"r":"ok"}\n'
+        assert second.counters()["disk_hits"] == 1
+        # ...and promotes it to memory: next hit skips the disk.
+        assert second.get(key) == '{"r":"ok"}\n'
+        assert second.counters()["disk_hits"] == 1
+
+
+class TestConcurrentTornReads:
+    def test_two_stores_sharing_disk_never_serve_torn_reads(self, tmp_path):
+        """Writers hammer shared keys with large bodies while readers in
+        a second store instance poll: every read parses whole."""
+        root = str(tmp_path / "shared")
+        writer_store = ResultStore(root, memory_entries=1)
+        # memory_entries=1 forces nearly every reader hit to the disk
+        # layer, where tearing would happen if writes weren't atomic.
+        reader_store = ResultStore(root, memory_entries=1)
+
+        keys = [f"{i:02d}" + "k" * 62 for i in range(4)]
+        # Large enough that a non-atomic write would be visibly torn.
+        bodies = {
+            key: json.dumps({"key": key, "pad": "x" * 200_000}) + "\n"
+            for key in keys
+        }
+        stop = threading.Event()
+        problems = []
+
+        def writer():
+            rng = random.Random(1)
+            while not stop.is_set():
+                key = keys[rng.randrange(len(keys))]
+                writer_store.put(key, bodies[key])
+
+        def reader():
+            rng = random.Random(2)
+            while not stop.is_set():
+                key = keys[rng.randrange(len(keys))]
+                body = reader_store.get(key)
+                if body is None:
+                    continue  # not written yet: a miss, never a tear
+                try:
+                    parsed = json.loads(body)
+                except json.JSONDecodeError:
+                    problems.append(f"torn read for {key!r}")
+                    return
+                if parsed["key"] != key or body != bodies[key]:
+                    problems.append(f"wrong bytes for {key!r}")
+                    return
+
+        threads = [threading.Thread(target=writer) for _ in range(2)] + [
+            threading.Thread(target=reader) for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            import time
+
+            time.sleep(1.5)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not problems, problems

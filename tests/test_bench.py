@@ -15,7 +15,7 @@ from repro.bench import (
 from repro.geometry import kernels
 
 
-def _doc(micro_s=0.010, round_s=0.100, batch_seed_s=0.001,
+def _doc(micro_s=0.010, round_s=0.100, batch_seed_s=0.001, serve_warm_s=0.001,
          generated_at="2026-01-01T00:00:00"):
     """A minimal one-key bench document with controllable timings."""
     return {
@@ -34,6 +34,11 @@ def _doc(micro_s=0.010, round_s=0.100, batch_seed_s=0.001,
              "round_s": batch_seed_s * 256,
              "per_seed_round_s": batch_seed_s,
              "seed_rounds_per_s": 1.0 / batch_seed_s},
+        ],
+        "serve_request_latency": [
+            {"endpoint": "run", "n": 6, "cold_s": 0.050,
+             "warm_s": serve_warm_s, "warm_mean_s": serve_warm_s,
+             "repeats": 5, "speedup": 0.050 / serve_warm_s},
         ],
     }
 
@@ -66,6 +71,11 @@ class TestBenchDocument:
             assert entry["backend"] in kernels.available_backends()
         for entry in document["round_throughput"]:
             assert entry["robots_per_s"] > 0.0
+        # Serve latency section: present, and the warm cache hit is
+        # strictly cheaper than the cold simulating request.
+        for entry in document["serve_request_latency"]:
+            assert entry["endpoint"] == "run"
+            assert 0.0 < entry["warm_s"] < entry["cold_s"]
 
         path = tmp_path / "bench.json"
         write_bench(document, str(path))
@@ -114,12 +124,19 @@ class TestBenchDocument:
         history = _history(_doc())
         regressions = check_regressions(
             history,
-            _doc(micro_s=0.050, round_s=0.500, batch_seed_s=0.005),
+            _doc(micro_s=0.050, round_s=0.500, batch_seed_s=0.005,
+                 serve_warm_s=0.005),
             threshold=0.25,
         )
         assert {r["metric"] for r in regressions} == {
-            "micro", "round_throughput", "batch_round_throughput"
+            "micro", "round_throughput", "batch_round_throughput",
+            "serve_request_latency",
         }
+        serve = next(
+            r for r in regressions if r["metric"] == "serve_request_latency"
+        )
+        assert serve["key"] == "run/6"
+        assert serve["ratio"] == pytest.approx(5.0)
         batched = next(
             r for r in regressions
             if r["metric"] == "batch_round_throughput"
