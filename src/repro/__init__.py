@@ -57,6 +57,8 @@ from .sim import (
     HalfSplitAdversary,
     LaggardAdversary,
     NoCrashes,
+    PerRobotSpeed,
+    PoissonScheduler,
     RandomCrashes,
     RandomStop,
     RandomSubset,
@@ -100,6 +102,8 @@ __all__ = [
     "HalfSplitAdversary",
     "LaggardAdversary",
     "NoCrashes",
+    "PerRobotSpeed",
+    "PoissonScheduler",
     "RandomCrashes",
     "RandomStop",
     "RandomSubset",

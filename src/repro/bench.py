@@ -24,6 +24,13 @@ Schema (``repro-bench/1``)
     ``seed_rounds_per_s``.  Measured on the numpy backend only — the
     batched engine exists to amortize kernel calls across sims, which
     the python backend cannot do.
+``lcm_round_throughput``
+    One entry per (activation, n): seconds for one complete LCM cycle
+    of the unified engine under each activation model — one round for
+    ``atom``, a LOOK tick plus a MOVE tick for ``async`` — on the
+    python backend.  This is the dispatch-overhead guard for the
+    engine unification: the pluggable activation model must not make
+    the scalar loop slower.
 ``serve_request_latency``
     Cold-vs-warm ``POST /run`` latency against an in-process
     ``repro serve`` daemon on an ephemeral port: ``cold_s`` is the
@@ -67,7 +74,7 @@ from .core import Configuration, safe_points
 from .core.views import view_table
 from .geometry import geometric_median, kernels
 from .resilience import TraceFormatError, atomic_write
-from .sim import BatchedSimulation, Simulation
+from .sim import AtomicActivation, BatchedSimulation, PhasedActivation, Simulation
 from .sim.scheduler import FullySynchronous
 from .workloads import generate
 
@@ -137,6 +144,31 @@ def _one_round_seconds(n: int) -> float:
     )
     start = time.perf_counter()
     sim.step()
+    return time.perf_counter() - start
+
+
+def _lcm_cycle_seconds(n: int, activation_name: str) -> float:
+    """One complete LCM cycle under the named activation model, timed.
+
+    ``atom`` completes a cycle per round; ``async`` needs a LOOK tick
+    and a MOVE tick under the fully-synchronous scheduler, so two
+    steps are timed — either way the measurement covers one full
+    look/compute/move pass for every robot.
+    """
+    activation = (
+        AtomicActivation() if activation_name == "atom" else PhasedActivation()
+    )
+    sim = Simulation(
+        WaitFreeGather(),
+        generate("random", n, _SEED),
+        scheduler=FullySynchronous(),
+        activation=activation,
+        seed=1,
+    )
+    steps = 1 if activation_name == "atom" else 2
+    start = time.perf_counter()
+    for _ in range(steps):
+        sim.step()
     return time.perf_counter() - start
 
 
@@ -282,6 +314,22 @@ def run_bench(
                     }
                 )
 
+    lcm_round_throughput: List[Dict] = []
+    with kernels.backend("python"):
+        for activation_name in ("atom", "async"):
+            for n in sizes:
+                say(f"lcm cycle activation={activation_name} n={n}")
+                cycle_s = _lcm_cycle_seconds(n, activation_name)
+                lcm_round_throughput.append(
+                    {
+                        "activation": activation_name,
+                        "backend": "python",
+                        "n": n,
+                        "cycle_s": cycle_s,
+                        "robots_per_s": n / cycle_s,
+                    }
+                )
+
     say("serve request latency (cold vs warm)")
     # Warm hits are sub-millisecond; extra repeats are free and make the
     # best-of robust against scheduler noise.
@@ -331,6 +379,7 @@ def run_bench(
         "micro": micro,
         "round_throughput": round_throughput,
         "batch_round_throughput": batch_round_throughput,
+        "lcm_round_throughput": lcm_round_throughput,
         "serve_request_latency": serve_request_latency,
         "speedups": speedups,
     }
@@ -426,7 +475,9 @@ def check_regressions(
     benchmark (``best_s``), ``(backend, n)`` of a round-throughput
     measurement (``round_s``) and ``(backend, n)`` of a batched
     round-throughput measurement (``per_seed_round_s``; normalized per
-    seed so retuning ``n_sims`` cannot dodge the gate) and
+    seed so retuning ``n_sims`` cannot dodge the gate),
+    ``(activation, n)`` of an LCM-cycle measurement (``cycle_s``, the
+    unified engine's per-activation-model dispatch cost) and
     ``(endpoint, n)`` of a serve-latency measurement (``warm_s``, the
     cache-hit overhead floor; ``cold_s`` is simulation-dominated and
     already covered by the round gates) — the baseline
@@ -454,6 +505,7 @@ def check_regressions(
     micro_samples: Dict[tuple, List[float]] = {}
     round_samples: Dict[tuple, List[float]] = {}
     batch_samples: Dict[tuple, List[float]] = {}
+    lcm_samples: Dict[tuple, List[float]] = {}
     serve_samples: Dict[tuple, List[float]] = {}
     for doc in recent:
         for entry in doc.get("micro", []):
@@ -467,6 +519,9 @@ def check_regressions(
             batch_samples.setdefault(key, []).append(
                 entry["per_seed_round_s"]
             )
+        for entry in doc.get("lcm_round_throughput", []):
+            key = (entry["activation"], entry["n"])
+            lcm_samples.setdefault(key, []).append(entry["cycle_s"])
         for entry in doc.get("serve_request_latency", []):
             key = (entry["endpoint"], entry["n"])
             serve_samples.setdefault(key, []).append(entry["warm_s"])
@@ -506,6 +561,14 @@ def check_regressions(
             key,
             entry["per_seed_round_s"],
             batch_samples.get(key),
+        )
+    for entry in document.get("lcm_round_throughput", []):
+        key = (entry["activation"], entry["n"])
+        gate(
+            "lcm_round_throughput",
+            key,
+            entry["cycle_s"],
+            lcm_samples.get(key),
         )
     for entry in document.get("serve_request_latency", []):
         key = (entry["endpoint"], entry["n"])

@@ -12,7 +12,7 @@ Three subcommands:
     Weber point when exactly computable).
 
 ``experiment``
-    Run one of the E1-E16 experiments (or ``all``) and print its tables;
+    Run one of the E1-E17 experiments (or ``all``) and print its tables;
     this is how EXPERIMENTS.md was produced.  ``--workers N`` shards the
     seed sweeps over processes.
 
@@ -93,6 +93,25 @@ from .workloads import CLASS_GENERATORS, generate
 
 __all__ = ["main", "build_parser"]
 
+#: Registry names accepted by the scenario flags — one list per axis so
+#: the subcommands cannot drift apart from each other or from the
+#: runner's ``_SCHEDULERS`` / ``_MOVEMENTS`` registries.
+_SCHEDULER_CHOICES = [
+    "fsync", "round-robin", "random", "laggard", "half-split", "poisson",
+]
+_MOVEMENT_CHOICES = [
+    "rigid", "adversarial-stop", "random-stop", "collusive-stop",
+    "per-robot-speed",
+]
+
+
+def _add_visibility_flag(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--visibility", type=float, default=None, metavar="R",
+        help="finite visibility radius for every LOOK snapshot "
+             "(default: unlimited, the paper's model)",
+    )
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -109,17 +128,18 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--n", type=int, default=8)
     sim.add_argument("--algorithm", default="wait-free-gather", choices=sorted(ALGORITHMS))
     sim.add_argument("--scheduler", default="random",
-                     choices=["fsync", "round-robin", "random", "laggard", "half-split"])
+                     choices=_SCHEDULER_CHOICES)
     sim.add_argument("--crashes", default="random",
                      choices=["none", "random", "after-move", "elected"])
     sim.add_argument("--f", type=int, default=0, help="fault budget (crashes)")
     sim.add_argument("--movement", default="random-stop",
-                     choices=["rigid", "adversarial-stop", "random-stop", "collusive-stop"])
+                     choices=_MOVEMENT_CHOICES)
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--max-rounds", type=int, default=20_000)
     sim.add_argument("--engine", default="atom", choices=["atom", "async"],
                      help="execution model: the paper's ATOM rounds or the "
                           "ASYNC (CORDA) tick engine")
+    _add_visibility_flag(sim)
     sim.add_argument("--trace", action="store_true", help="print the round transcript")
     sim.add_argument(
         "--save-trace",
@@ -142,7 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
     cls.add_argument("--n", type=int, default=8)
     cls.add_argument("--seed", type=int, default=0)
 
-    exp = sub.add_parser("experiment", help="run experiments E1-E16")
+    exp = sub.add_parser("experiment", help="run experiments E1-E17")
     exp.add_argument("id", choices=sorted(EXPERIMENTS) + ["all"])
     exp.add_argument("--full", action="store_true",
                      help="full parameter sweep (slow); default is quick mode")
@@ -226,15 +246,16 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--n", type=int, default=8)
     check.add_argument("--algorithm", default="wait-free-gather", choices=sorted(ALGORITHMS))
     check.add_argument("--scheduler", default="random",
-                       choices=["fsync", "round-robin", "random", "laggard", "half-split"])
+                       choices=_SCHEDULER_CHOICES)
     check.add_argument("--crashes", default="random",
                        choices=["none", "random", "after-move", "elected"])
     check.add_argument("--f", type=int, default=0)
     check.add_argument("--movement", default="random-stop",
-                       choices=["rigid", "adversarial-stop", "random-stop", "collusive-stop"])
+                       choices=_MOVEMENT_CHOICES)
     check.add_argument("--seeds", type=int, nargs="+", default=[0],
                        metavar="SEED", help="seeds for --diff")
     check.add_argument("--max-rounds", type=int, default=20_000)
+    _add_visibility_flag(check)
     check.add_argument("--emit-trace", metavar="SCENARIO_JSON", default=None,
                        help=argparse.SUPPRESS)  # internal recorder mode
     check.add_argument("--seed", type=int, default=0, help=argparse.SUPPRESS)
@@ -249,7 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--n", type=int, default=8)
     render.add_argument("--algorithm", default="wait-free-gather", choices=sorted(ALGORITHMS))
     render.add_argument("--scheduler", default="random",
-                        choices=["fsync", "round-robin", "random", "laggard", "half-split"])
+                        choices=_SCHEDULER_CHOICES)
     render.add_argument("--crashes", default="none",
                         choices=["none", "random", "after-move", "elected"])
     render.add_argument("--f", type=int, default=0)
@@ -278,12 +299,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--n", type=int, default=8)
     sweep.add_argument("--algorithm", default="wait-free-gather", choices=sorted(ALGORITHMS))
     sweep.add_argument("--scheduler", default="random",
-                       choices=["fsync", "round-robin", "random", "laggard", "half-split"])
+                       choices=_SCHEDULER_CHOICES)
     sweep.add_argument("--crashes", default="random",
                        choices=["none", "random", "after-move", "elected"])
     sweep.add_argument("--f", type=int, default=0, help="fault budget (crashes)")
     sweep.add_argument("--movement", default="random-stop",
-                       choices=["rigid", "adversarial-stop", "random-stop", "collusive-stop"])
+                       choices=_MOVEMENT_CHOICES)
     sweep.add_argument("--max-rounds", type=int, default=20_000)
     sweep.add_argument("--engine", default="atom",
                        choices=["atom", "async", "batched"],
@@ -294,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seeds stepped together per batched-engine "
                             "simulation (default 64; ignored by the "
                             "scalar engines)")
+    _add_visibility_flag(sweep)
     sweep.add_argument("--seeds", type=int, default=16, metavar="N",
                        help="number of seeds to sweep "
                             "(seed-start .. seed-start+N-1; default 16)")
@@ -428,15 +450,16 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--n", type=int, default=8)
     prof.add_argument("--algorithm", default="wait-free-gather", choices=sorted(ALGORITHMS))
     prof.add_argument("--scheduler", default="random",
-                      choices=["fsync", "round-robin", "random", "laggard", "half-split"])
+                      choices=_SCHEDULER_CHOICES)
     prof.add_argument("--crashes", default="random",
                       choices=["none", "random", "after-move", "elected"])
     prof.add_argument("--f", type=int, default=0)
     prof.add_argument("--movement", default="random-stop",
-                      choices=["rigid", "adversarial-stop", "random-stop", "collusive-stop"])
+                      choices=_MOVEMENT_CHOICES)
     prof.add_argument("--seed", type=int, default=0)
     prof.add_argument("--max-rounds", type=int, default=20_000)
     prof.add_argument("--engine", default="atom", choices=["atom", "async"])
+    _add_visibility_flag(prof)
     prof.add_argument("--backend", default="auto",
                       choices=["auto", "python", "numpy"],
                       help="kernel backend to profile on (auto: numpy when "
@@ -531,6 +554,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         movement=args.movement,
         max_rounds=args.max_rounds,
         engine=args.engine,
+        visibility=args.visibility,
     )
     want_obs = args.obs or bool(args.obs_jsonl) or bool(args.spans_jsonl)
     if want_obs:
@@ -834,6 +858,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             f=args.f,
             movement=args.movement,
             max_rounds=args.max_rounds,
+            visibility=args.visibility,
         )
         for seed in args.seeds:
             report = differential_check(scenario, seed)
@@ -871,6 +896,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         movement=args.movement,
         max_rounds=args.max_rounds,
         engine=args.engine,
+        visibility=args.visibility,
     )
     seeds = list(range(args.seed_start, args.seed_start + args.seeds))
     resumed = 0
@@ -1235,6 +1261,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         movement=args.movement,
         max_rounds=args.max_rounds,
         engine=args.engine,
+        visibility=args.visibility,
     )
     backend = args.backend
     if backend == "auto":

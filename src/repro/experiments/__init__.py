@@ -4,10 +4,10 @@ The paper is a theory paper with no measured tables or figures; the
 experiments validate its theorem and lemmas on the simulator and
 regenerate the tables recorded in EXPERIMENTS.md (index in DESIGN.md
 section 5): E1-E9 cover every paper claim, E12/E13 strengthen them
-(adversarial search, progress series), and E10/E11/E14-E16 probe beyond
+(adversarial search, progress series), and E10/E11/E14-E17 probe beyond
 the paper (ASYNC, byzantine, limited visibility, chirality violations,
-sensor noise).  Each module exposes ``run(quick)`` -> list of
-:class:`~repro.experiments.report.Table`.
+sensor noise, the scheduler/model matrix).  Each module exposes
+``run(quick)`` -> list of :class:`~repro.experiments.report.Table`.
 """
 
 import inspect
@@ -21,6 +21,7 @@ from . import (
     e14_visibility,
     e15_chirality,
     e16_sensor_noise,
+    e17_model_matrix,
     e2_bivalent,
     e3_transitions,
     e4_baselines,
@@ -61,6 +62,7 @@ EXPERIMENTS = {
     "e14": (e14_visibility, "Assumption ablation: limited visibility"),
     "e15": (e15_chirality, "Assumption ablation: chirality violations"),
     "e16": (e16_sensor_noise, "Assumption ablation: sensor noise"),
+    "e17": (e17_model_matrix, "Scheduler/model matrix: timing, speeds, visibility"),
 }
 
 

@@ -46,6 +46,8 @@ from ..sim import (
     FullySynchronous,
     LaggardAdversary,
     NoCrashes,
+    PerRobotSpeed,
+    PoissonScheduler,
     RandomCrashes,
     RandomStop,
     RandomSubset,
@@ -87,6 +89,7 @@ _SCHEDULERS: Dict[str, Callable[[], object]] = {
     "random": lambda: RandomSubset(0.5),
     "laggard": LaggardAdversary,
     "half-split": HalfSplitAdversary,
+    "poisson": lambda: PoissonScheduler(0.5),
 }
 
 _MOVEMENTS: Dict[str, Callable[[], object]] = {
@@ -94,6 +97,10 @@ _MOVEMENTS: Dict[str, Callable[[], object]] = {
     "adversarial-stop": lambda: AdversarialStop(0.2),
     "random-stop": lambda: RandomStop(0.05),
     "collusive-stop": lambda: CollusiveStop(0.2),
+    # Three speed tiers cycled over robot ids: the fastest robot covers
+    # 20x the slowest per activation — wide enough to surface the
+    # heterogeneity effects E17 measures, with delta = 0.05 preserved.
+    "per-robot-speed": lambda: PerRobotSpeed((1.0, 0.25, 0.05)),
 }
 
 
@@ -141,12 +148,19 @@ class Scenario:
     #: Part of the scenario — and therefore of the trace schema — so
     #: archived ASYNC runs replay on the right engine.
     engine: str = "atom"
+    #: Finite visibility radius threaded into every LOOK snapshot
+    #: (``None`` = the paper's unlimited visibility).  A new field with a
+    #: default, so traces archived before it existed keep loading.
+    visibility: Optional[float] = None
 
     def label(self) -> str:
         prefix = "" if self.engine == "atom" else f"{self.engine}/"
+        suffix = (
+            "" if self.visibility is None else f"/vis={self.visibility:g}"
+        )
         return (
             f"{prefix}{self.workload}/n={self.n}/f={self.f}/{self.scheduler}/"
-            f"{self.crashes}/{self.movement}"
+            f"{self.crashes}/{self.movement}{suffix}"
         )
 
     def to_dict(self) -> dict:
@@ -203,6 +217,7 @@ def build_simulation(
             max_ticks=scenario.max_rounds,
             halt_on_bivalent=scenario.halt_on_bivalent,
             record_trace=record_trace,
+            visibility=scenario.visibility,
         )
     if scenario.engine == "batched":
         raise ValueError(
@@ -222,6 +237,7 @@ def build_simulation(
         max_rounds=scenario.max_rounds,
         halt_on_bivalent=scenario.halt_on_bivalent,
         record_trace=record_trace,
+        visibility=scenario.visibility,
     )
 
 
@@ -312,6 +328,12 @@ def _run_batched_chunk(
     once per robot.
     """
     seeds = list(seeds)
+    if scenario.visibility is not None:
+        raise ValueError(
+            "the batched engine computes one global snapshot per sim and "
+            "cannot truncate per-robot views; run visibility scenarios on "
+            "engine='atom' or 'async'"
+        )
     if engine_seeds is None:
         engine_seeds = [scenario.engine_seed(seed) for seed in seeds]
     sim = BatchedSimulation(

@@ -1,4 +1,9 @@
-"""ATOM-model simulator: robots, schedulers, faults, movement, engine."""
+"""LCM-cycle simulator: robots, schedulers, faults, movement, engine.
+
+One engine (:class:`Simulation`) runs both the paper's ATOM model and
+the ASYNC/CORDA model; the pluggable activation models in
+:mod:`repro.sim.lcm` select between them.
+"""
 
 from .async_engine import AsyncSimulation
 from .batch import BatchedSimulation
@@ -9,7 +14,8 @@ from .byzantine import (
     OscillatingByzantine,
     StationaryByzantine,
 )
-from .engine import Simulation, SimulationResult, Verdict
+from .engine import Simulation, SimulationResult, Verdict, component_rng, snap_destination
+from .lcm import ActivationModel, AtomicActivation, PendingMove, PhasedActivation
 from .faults import (
     CrashAdversary,
     CrashAfterMove,
@@ -24,6 +30,7 @@ from .movement import (
     AdversarialStop,
     CollusiveStop,
     MovementModel,
+    PerRobotSpeed,
     RandomStop,
     RigidMovement,
 )
@@ -33,6 +40,7 @@ from .scheduler import (
     HalfSplitAdversary,
     FullySynchronous,
     LaggardAdversary,
+    PoissonScheduler,
     RandomSubset,
     RoundRobin,
     Scheduler,
@@ -60,6 +68,12 @@ __all__ = [
     "Simulation",
     "SimulationResult",
     "Verdict",
+    "component_rng",
+    "snap_destination",
+    "ActivationModel",
+    "AtomicActivation",
+    "PendingMove",
+    "PhasedActivation",
     "CrashAdversary",
     "CrashAfterMove",
     "CrashAtRounds",
@@ -74,6 +88,7 @@ __all__ = [
     "AdversarialStop",
     "CollusiveStop",
     "MovementModel",
+    "PerRobotSpeed",
     "RandomStop",
     "RigidMovement",
     "Robot",
@@ -81,6 +96,7 @@ __all__ = [
     "HalfSplitAdversary",
     "FullySynchronous",
     "LaggardAdversary",
+    "PoissonScheduler",
     "RandomSubset",
     "RoundRobin",
     "Scheduler",

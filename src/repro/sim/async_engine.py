@@ -1,14 +1,23 @@
-"""ASYNC (CORDA-style) engine — beyond the paper's ATOM model.
+"""ASYNC (CORDA-style) execution — beyond the paper's ATOM model.
 
 The paper proves ``WAIT-FREE-GATHER`` correct in the semi-synchronous
 ATOM model, where a robot's Look-Compute-Move cycle is *atomic*.  The
 fully asynchronous model drops that atomicity: arbitrary time may pass
 between a robot's Look and its Move, during which other robots move — so
 robots act on **stale snapshots**.  The paper leaves ASYNC open;
-experiment E10 explores it empirically with this engine.
+experiment E10 explores it empirically.
 
-Mechanics
----------
+Since the engine unification this module is a thin convenience wrapper:
+:class:`AsyncSimulation` is the unified :class:`~repro.sim.Simulation`
+configured with :class:`~repro.sim.lcm.PhasedActivation`, plus the
+historical ASYNC vocabulary (``tick`` / ``max_ticks`` / ``pending``).
+Every engine mechanism — crashes, fair scheduling, destination snapping,
+movement-model identity hooks (so :class:`~repro.sim.CollusiveStop`
+colludes here too), visibility / noise ablations, trace records — is the
+single implementation in :mod:`repro.sim.engine`.
+
+Mechanics of the phased model
+-----------------------------
 Time is discretized into *ticks*.  Each live robot is in one of two
 phases:
 
@@ -23,10 +32,10 @@ phases:
     becomes ``IDLE`` again.
 
 A scheduler picks which robots advance one phase per tick — the same
-:class:`~repro.sim.scheduler.Scheduler` objects as the ATOM engine,
-wrapped in the same fairness enforcement.  An LCM cycle therefore takes
-two (possibly far apart) activations, and interleavings where a robot
-moves towards a target that stopped being meaningful rounds ago arise
+:class:`~repro.sim.scheduler.Scheduler` objects as ATOM runs, wrapped in
+the same fairness enforcement.  An LCM cycle therefore takes two
+(possibly far apart) activations, and interleavings where a robot moves
+towards a target that stopped being meaningful rounds ago arise
 naturally — exactly the hazard ASYNC adds.
 
 Verdicts mirror the ATOM engine (`gathered` follows Definition 9 with
@@ -35,47 +44,32 @@ the extra requirement that no correct robot has a pending stale move).
 
 from __future__ import annotations
 
-import random
-import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Sequence
 
 from ..algorithms.base import GatheringAlgorithm
-from ..core import (
-    BivalentConfigurationError,
-    ConfigClass,
-    Configuration,
-    GatheringError,
-    classify,
-)
-from ..geometry import DEFAULT_TOLERANCE, Frame, Point, Tolerance, random_frame
-from .. import obs as _obs
-from ..obs.events import RoundEvent
-from .engine import SimulationResult, Verdict, component_rng
-from .faults import CrashAdversary, NoCrashes
-from .gathering import gathered_point
-from .movement import MovementModel, RigidMovement
-from .robot import Robot
-from .scheduler import FairnessWrapper, FullySynchronous, Scheduler
-from .trace import RoundRecord, Trace, TraceMeta
+from ..geometry import DEFAULT_TOLERANCE, Point, Tolerance
+from .engine import Simulation
+from .faults import CrashAdversary
+from .lcm import PendingMove, PhasedActivation
+from .movement import MovementModel
+from .scheduler import Scheduler
 
 __all__ = ["AsyncSimulation"]
 
-
-@dataclass
-class _Pending:
-    """A computed but not yet executed move (the stale destination)."""
-
-    destination: Point
-    looked_at_tick: int
+#: Backward-compatible alias: the pending-move record used to be this
+#: module's private ``_Pending`` dataclass; it now lives with the
+#: activation models.
+_Pending = PendingMove
 
 
-class AsyncSimulation:
+class AsyncSimulation(Simulation):
     """Fully asynchronous execution of a gathering algorithm.
 
     Accepts the same component types as :class:`~repro.sim.Simulation`;
     ``max_ticks`` bounds phase activations rather than rounds (one LCM
-    cycle consumes two activations of its robot).
+    cycle consumes two activations of its robot).  The historically
+    looser defaults are kept: a fairness bound of 64 activations and a
+    100k-tick budget, since every cycle needs two activations.
     """
 
     def __init__(
@@ -94,282 +88,39 @@ class AsyncSimulation:
         max_ticks: int = 100_000,
         halt_on_bivalent: bool = True,
         record_trace: bool = False,
+        visibility: Optional[float] = None,
     ) -> None:
-        if not positions:
-            raise ValueError("a simulation needs at least one robot")
-        if frames not in ("identity", "random"):
-            raise ValueError("frames must be 'identity' or 'random'")
-        self.algorithm = algorithm
-        self.seed = seed
-        self.rng = random.Random(seed)
-        # Same decoupled substreams as the ATOM engine (component_rng).
-        self._crash_rng = component_rng(seed, "crash")
-        self._sched_rng = component_rng(seed, "sched")
-        self._move_rng = component_rng(seed, "move")
-        self.tol = tol
-        self.snap_tolerance = snap_tolerance
-        self.max_ticks = max_ticks
-        self.halt_on_bivalent = halt_on_bivalent
-        self.scheduler = FairnessWrapper(
-            scheduler or FullySynchronous(), bound=fairness_bound
-        )
-        self.crash_adversary = crash_adversary or NoCrashes()
-        self.movement = movement or RigidMovement()
-
-        self.robots: List[Robot] = []
-        for rid, pos in enumerate(positions):
-            frame = (
-                random_frame(self.rng)
-                if frames == "random"
-                else Frame(Point(0.0, 0.0), 0.0, 1.0)
-            )
-            self.robots.append(Robot(robot_id=rid, position=pos, frame=frame))
-
-        self.pending: Dict[int, _Pending] = {}
-        self.tick = 0
-        self._last_active: Dict[int, int] = {}
-        self._last_moved: Set[int] = set()
-        self.stale_moves = 0  # moves whose target was computed >1 tick ago
-        # Per-tick records, same schema as the ATOM engine's — one record
-        # per *tick*, so a full LCM cycle of a robot spans two records.
-        # The partial meta block marks the engine so replay dispatches
-        # back here and invariant checkers know the ATOM class-transition
-        # lemmas do not apply.
-        self.trace: Optional[Trace] = (
-            Trace(
-                meta=TraceMeta.for_run(
-                    scenario=None,
-                    seed=None,
-                    engine_seed=seed,
-                    tol=tol,
-                    engine="async",
-                )
-            )
-            if record_trace
-            else None
+        super().__init__(
+            algorithm,
+            positions,
+            scheduler=scheduler,
+            crash_adversary=crash_adversary,
+            movement=movement,
+            activation=PhasedActivation(),
+            tol=tol,
+            frames=frames,
+            seed=seed,
+            fairness_bound=fairness_bound,
+            snap_tolerance=snap_tolerance,
+            max_rounds=max_ticks,
+            halt_on_bivalent=halt_on_bivalent,
+            record_trace=record_trace,
+            visibility=visibility,
         )
 
-    # -- accessors ---------------------------------------------------------------
+    # -- historical ASYNC vocabulary ------------------------------------------
 
-    def positions(self) -> Dict[int, Point]:
-        return {r.robot_id: r.position for r in self.robots}
+    @property
+    def tick(self) -> int:
+        """Ticks elapsed (the phased name for :attr:`round_index`)."""
+        return self.round_index
 
-    def live_ids(self) -> List[int]:
-        return [r.robot_id for r in self.robots if r.live]
+    @property
+    def max_ticks(self) -> int:
+        """Activation budget (the phased name for :attr:`max_rounds`)."""
+        return self.max_rounds
 
-    def configuration(self) -> Configuration:
-        return Configuration([r.position for r in self.robots], self.tol)
-
-    # -- phase step -----------------------------------------------------------------
-
-    def _snap(self, dest: Point, config: Configuration) -> Point:
-        best, best_d = None, self.snap_tolerance
-        for p in config.support:
-            d = dest.distance_to(p)
-            if d <= best_d:
-                best, best_d = p, d
-        return best if best is not None else dest
-
-    def step(self) -> None:
-        """Advance one tick: crashes, then one phase for each activated robot.
-
-        Observability: the tick is timed into the ``round_seconds``
-        histogram, and with tracing active it becomes a ``round`` span.
-        Unlike ATOM there is no round-global phase barrier — LOOK and
-        MOVE activations interleave per robot, which is the point of
-        the CORDA model — so each activation gets its *own* phase span
-        (``look`` with a nested ``compute``, or ``move``), labelled
-        with the robot id.
-        """
-        obs_on = _obs.state.enabled
-        started = time.perf_counter() if obs_on else 0.0
-        tracer = _obs.tracer if obs_on and _obs.tracer.active else None
-        round_span = (
-            tracer.begin("tick", "round", attrs={"round": self.tick})
-            if tracer is not None
-            else None
-        )
-        crash_now = self.crash_adversary.crashes(
-            self.tick,
-            self.live_ids(),
-            self.positions(),
-            set(self._last_moved),
-            self._crash_rng,
-        )
-        for robot in self.robots:
-            if robot.robot_id in crash_now:
-                robot.crash(self.tick)
-                self.pending.pop(robot.robot_id, None)
-
-        active = self.scheduler.select(
-            self.tick, self.live_ids(), self._sched_rng, self._last_active,
-            positions=self.positions(),
-        )
-
-        config_now = self.configuration()
-        # Recording shares the ATOM engine's RoundRecord schema, one
-        # record per tick: LOOK activations record the freshly computed
-        # destination, MOVE activations the (possibly stale) pending one.
-        recording = self.trace is not None or _obs.state.enabled
-        destinations: Dict[int, Point] = {}
-        moved: List[int] = []
-        for robot in self.robots:
-            rid = robot.robot_id
-            if rid not in active:
-                continue
-            self._last_active[rid] = self.tick
-            entry = self.pending.get(rid)
-            if entry is None:
-                # LOOK + COMPUTE against the *current* configuration.
-                phase_span = (
-                    tracer.begin("look", "phase", attrs={"robot": rid})
-                    if tracer is not None
-                    else None
-                )
-                frame = robot.anchored_frame()
-                local_points = [frame.to_local(r.position) for r in self.robots]
-                local_config = Configuration(local_points, self.tol)
-                compute_span = (
-                    tracer.begin("compute", "phase", attrs={"robot": rid})
-                    if tracer is not None
-                    else None
-                )
-                dest_local = self.algorithm.compute(
-                    local_config, frame.to_local(robot.position)
-                )
-                if tracer is not None:
-                    tracer.end(compute_span)
-                dest = self._snap(frame.to_global(dest_local), config_now)
-                self.pending[rid] = _Pending(dest, self.tick)
-                if tracer is not None:
-                    tracer.end(phase_span)
-                if recording:
-                    destinations[rid] = dest
-            else:
-                # MOVE towards the (possibly stale) destination.
-                phase_span = (
-                    tracer.begin("move", "phase", attrs={"robot": rid})
-                    if tracer is not None
-                    else None
-                )
-                if entry.looked_at_tick < self.tick - 1:
-                    self.stale_moves += 1
-                end = self.movement.endpoint(
-                    robot.position, entry.destination, self._move_rng
-                )
-                if end.distance_to(entry.destination) <= self.tol.eps_dist:
-                    end = entry.destination
-                if end != robot.position:
-                    robot.distance_travelled += robot.position.distance_to(end)
-                    robot.position = end
-                    moved.append(rid)
-                if tracer is not None:
-                    tracer.end(phase_span)
-                if recording:
-                    destinations[rid] = entry.destination
-                del self.pending[rid]
-        self._last_moved = set(moved)
-        if recording:
-            record = RoundRecord(
-                round_index=self.tick,
-                config_before=config_now,
-                config_class=classify(config_now),
-                active=tuple(sorted(active)),
-                crashed_now=tuple(sorted(crash_now)),
-                destinations=destinations,
-                config_after=self.configuration(),
-                moved=tuple(moved),
-            )
-            if self.trace is not None:
-                self.trace.append(record)
-            if _obs.state.enabled:
-                if round_span is not None:
-                    round_span.attrs["moved"] = len(moved)
-                    tracer.end(round_span)
-                    round_span = None
-                _obs.record_round(
-                    RoundEvent.from_record(record, engine="async"),
-                    seconds=time.perf_counter() - started,
-                )
-        if round_span is not None:
-            tracer.end(round_span)
-        self.tick += 1
-
-    # -- run loop ----------------------------------------------------------------------
-
-    def _gathered_now(self) -> Optional[Point]:
-        spot = gathered_point(self.positions(), self.live_ids(), self.tol)
-        if spot is None:
-            return None
-        # No live robot may hold a pending move to a different point.
-        for rid, entry in self.pending.items():
-            if self.robots[rid].live and not entry.destination.close_to(
-                spot, self.tol
-            ):
-                return None
-        config = self.configuration()
-        try:
-            dest = self.algorithm.compute(config, spot)
-        except GatheringError:
-            return None
-        return spot if dest.close_to(spot, self.tol) else None
-
-    def run(self) -> SimulationResult:
-        run_span = (
-            _obs.tracer.begin(
-                "run", "run", attrs={"engine": "async", "seed": self.seed}
-            )
-            if _obs.state.enabled and _obs.tracer.active
-            else None
-        )
-        classes_seen: List[ConfigClass] = []
-        verdict = Verdict.MAX_ROUNDS
-        while self.tick < self.max_ticks:
-            spot = self._gathered_now()
-            if spot is not None:
-                verdict = Verdict.GATHERED
-                break
-            config = self.configuration()
-            cls = classify(config)
-            if not classes_seen or classes_seen[-1] is not cls:
-                classes_seen.append(cls)
-            if cls is ConfigClass.BIVALENT and self.halt_on_bivalent:
-                verdict = Verdict.IMPOSSIBLE
-                break
-            try:
-                self.step()
-            except BivalentConfigurationError:
-                verdict = Verdict.IMPOSSIBLE
-                break
-
-        spot = self._gathered_now()
-        if _obs.state.enabled:
-            if run_span is not None:
-                run_span.attrs["verdict"] = verdict
-                run_span.attrs["rounds"] = self.tick
-                _obs.tracer.end(run_span)
-            _obs.record_run_end(
-                {
-                    "engine": "async",
-                    "verdict": verdict,
-                    "rounds": self.tick,
-                    "seed": self.seed,
-                    "stale_moves": self.stale_moves,
-                }
-            )
-        return SimulationResult(
-            verdict=verdict,
-            rounds=self.tick,
-            final_positions=self.positions(),
-            live_ids=tuple(self.live_ids()),
-            crashed_ids=tuple(
-                r.robot_id for r in self.robots if r.crashed
-            ),
-            gathering_point=spot,
-            total_distance=sum(r.distance_travelled for r in self.robots),
-            trace=self.trace,
-            initial_class=classes_seen[0]
-            if classes_seen
-            else classify(self.configuration()),
-            classes_seen=tuple(classes_seen),
-        )
+    @property
+    def pending(self) -> Dict[int, PendingMove]:
+        """Robots mid-cycle: id -> computed-but-unexecuted destination."""
+        return self.activation.pending

@@ -1,4 +1,4 @@
-"""The ATOM round engine — the heart of the simulator.
+"""The unified LCM-cycle engine — the heart of the simulator.
 
 Each round (Section II):
 
@@ -6,13 +6,22 @@ Each round (Section II):
    again but stays visible);
 2. the **scheduler** activates a subset of the live robots, with
    fairness enforced mechanically;
-3. every active robot performs an atomic LOOK–COMPUTE–MOVE: it receives
-   the *same* global snapshot expressed in its private frame, runs the
-   algorithm, and the **movement model** resolves how far the resulting
-   move actually gets (the ``delta`` guarantee).
+3. every active robot advances its LOOK–COMPUTE–MOVE cycle, where the
+   pluggable **activation model** (:mod:`repro.sim.lcm`) decides how the
+   cycle maps onto activations:
 
-All moves of a round are applied simultaneously — this is precisely the
-ATOM semantics that distinguishes the model from ASYNC.
+   * :class:`~repro.sim.lcm.AtomicActivation` (the default — the
+     paper's ATOM model): one activation runs the whole cycle, every
+     active robot receives the *same* global snapshot expressed in its
+     private frame, and all moves of the round apply simultaneously;
+   * :class:`~repro.sim.lcm.PhasedActivation` (ASYNC / CORDA): LOOK and
+     MOVE are separately scheduled activations with a pending (stale)
+     destination in between, resolved sequentially with no barrier.
+
+   Either way the **movement model** resolves how far each move
+   actually gets (the ``delta`` guarantee), with collusive adversaries
+   seeing the step's whole move set first (``begin_round`` /
+   ``endpoint_for`` identity hooks).
 
 Exactness plumbing
 ------------------
@@ -47,6 +56,7 @@ from .. import obs as _obs
 from ..obs.events import RoundEvent
 from .faults import CrashAdversary, NoCrashes
 from .gathering import gathered_point
+from .lcm import ActivationModel, AtomicActivation, PendingMove, PhasedActivation
 from .movement import MovementModel, RigidMovement
 from .robot import Robot
 from .scheduler import FairnessWrapper, FullySynchronous, Scheduler
@@ -160,6 +170,13 @@ class Simulation:
     scheduler / crash_adversary / movement:
         Model components; defaults are the benign ones (FSYNC, no
         crashes, rigid moves).
+    activation:
+        The activation model (:mod:`repro.sim.lcm`) mapping LCM cycles
+        onto scheduler activations; defaults to
+        :class:`~repro.sim.lcm.AtomicActivation` (the paper's ATOM
+        rounds).  :class:`~repro.sim.lcm.PhasedActivation` gives the
+        ASYNC/CORDA tick semantics (or use the
+        :class:`~repro.sim.AsyncSimulation` convenience wrapper).
     frames:
         ``"identity"`` runs all robots in the global frame (useful for
         debugging); ``"random"`` gives each robot a private random
@@ -185,6 +202,7 @@ class Simulation:
         scheduler: Optional[Scheduler] = None,
         crash_adversary: Optional[CrashAdversary] = None,
         movement: Optional[MovementModel] = None,
+        activation: Optional[ActivationModel] = None,
         tol: Tolerance = DEFAULT_TOLERANCE,
         frames: str = "random",
         seed: int = 0,
@@ -222,6 +240,11 @@ class Simulation:
         )
         self.crash_adversary = crash_adversary or NoCrashes()
         self.movement = movement or RigidMovement()
+        self.activation: ActivationModel = activation or AtomicActivation()
+        #: MOVE activations whose destination was computed more than one
+        #: tick earlier — the volume of genuinely stale moves.  Always 0
+        #: under atomic activation (cycles never outlive a round).
+        self.stale_moves = 0
         # With halt_on_bivalent the engine stops as soon as the (provably
         # hopeless) bivalent configuration appears; switching it off lets
         # experiment E2 watch how baseline algorithms actually behave
@@ -274,7 +297,11 @@ class Simulation:
         self.trace: Optional[Trace] = (
             Trace(
                 meta=TraceMeta.for_run(
-                    scenario=None, seed=None, engine_seed=seed, tol=tol
+                    scenario=None,
+                    seed=None,
+                    engine_seed=seed,
+                    tol=tol,
+                    engine=self.activation.name,
                 )
             )
             if record_trace
@@ -411,28 +438,211 @@ class Simulation:
             self._local_config_cache[robot.robot_id] = local_config
         return local_config
 
+    def _destination_for(self, robot: Robot, config: Configuration) -> Optional[Point]:
+        """LOOK + COMPUTE for one robot: the snapped global destination.
+
+        This is the one place a snapshot is taken and an algorithm run,
+        shared by both activation models: byzantine policies, private
+        frames, visibility truncation, sensor noise and destination
+        snapping all happen here.  Returns ``None`` when a noisy
+        observer refuses its view — a *noisy observer* can transiently
+        see a bivalent-looking blob that the true configuration is not;
+        its refusal means "I stay this cycle", not global impossibility
+        (which the engine judges on the exact positions).
+        """
+        policy = self.byzantine.get(robot.robot_id)
+        if policy is not None:
+            # Adversary-controlled robot: omniscient, frame-free.
+            return policy.destination(
+                robot.robot_id,
+                self.positions(),
+                self.correct_ids(),
+                self.round_index,
+                self._byz_rng,
+            )
+        frame = robot.anchored_frame()
+        local_config = self._local_configuration(robot)
+        local_me = frame.to_local(robot.position)
+        if self.sensor_noise > 0.0:
+            try:
+                local_dest = self.algorithm.compute(local_config, local_me)
+            except BivalentConfigurationError:
+                return None
+        else:
+            local_dest = self.algorithm.compute(local_config, local_me)
+        return self._snap_destination(frame.to_global(local_dest), config)
+
+    def _begin_move_phase(self, moves: Dict[int, Tuple[Point, Point]]) -> None:
+        """Collusive adversaries see the step's whole move set first."""
+        if hasattr(self.movement, "begin_round"):
+            self.movement.begin_round(moves)
+
+    def _resolve_move(self, robot: Robot, dest: Point) -> bool:
+        """Execute one move; returns whether the robot actually moved.
+
+        Identity-aware models resolve through ``endpoint_for`` (so a
+        coordinated adversary can serve per-robot stops); the rest
+        through the classic ``endpoint``.  A move ending within
+        tolerance of its destination ends exactly there, and any actual
+        movement invalidates every cached snapshot immediately — under
+        phased activation a later robot's LOOK in the *same* tick must
+        already see this move.
+        """
+        if hasattr(self.movement, "endpoint_for"):
+            end = self.movement.endpoint_for(robot.robot_id, robot.position, dest)
+        else:
+            end = self.movement.endpoint(robot.position, dest, self._move_rng)
+        if end.distance_to(dest) <= self.tol.eps_dist:
+            end = dest
+        if end == robot.position:
+            return False
+        robot.distance_travelled += robot.position.distance_to(end)
+        robot.position = end
+        self._config_cache = None
+        self._local_config_cache.clear()
+        return True
+
+    def _step_atomic(
+        self,
+        active: Set[int],
+        config_before: Configuration,
+        tracer,
+    ) -> Tuple[Dict[int, Point], List[int]]:
+        """ATOM semantics: compute all against one snapshot, then move all.
+
+        The round-global barrier is the point: no robot's move is
+        visible to any other robot's LOOK of the same round.
+        """
+        phase_span = tracer.begin("compute", "phase") if tracer is not None else None
+        destinations: Dict[int, Point] = {}
+        for robot in self.robots:
+            if robot.robot_id not in active:
+                continue
+            dest = self._destination_for(robot, config_before)
+            if dest is not None:
+                destinations[robot.robot_id] = dest
+        if tracer is not None:
+            tracer.end(phase_span)
+            phase_span = tracer.begin("move", "phase")
+
+        self._begin_move_phase(
+            {
+                rid: (self._robot_by_id(rid).position, dest)
+                for rid, dest in destinations.items()
+            }
+        )
+        moved: List[int] = []
+        for robot in self.robots:
+            dest = destinations.get(robot.robot_id)
+            if dest is None:
+                continue
+            if self._resolve_move(robot, dest):
+                moved.append(robot.robot_id)
+            robot.last_active_round = self.round_index
+            self._last_active[robot.robot_id] = self.round_index
+        if tracer is not None:
+            tracer.end(phase_span)
+        return destinations, moved
+
+    def _step_phased(
+        self,
+        active: Set[int],
+        config_before: Configuration,
+        tracer,
+    ) -> Tuple[Dict[int, Point], List[int]]:
+        """CORDA semantics: one phase per activation, no barrier.
+
+        Activations resolve sequentially in robot order — a LOOK later
+        in the tick observes the moves earlier activations already
+        executed, which is exactly the interleaving hazard ASYNC adds.
+        Destinations are snapped against the tick-start configuration
+        (``config_before``): crashes never move anyone, so its support
+        is the set of positions the LOOKing robot is trying to name.
+
+        The tick's MOVE set is known up front (each robot moves at most
+        once per tick, and only its own move changes its origin), so the
+        movement model's collusion hook sees the whole set before any
+        move resolves — this is what lets :class:`CollusiveStop` stack
+        async robots instead of silently degrading to rigid moves.
+        """
+        pending = self.activation.pending
+        self._begin_move_phase(
+            {
+                rid: (self._robot_by_id(rid).position, pending[rid].destination)
+                for rid in sorted(active)
+                if rid in pending
+            }
+        )
+        destinations: Dict[int, Point] = {}
+        moved: List[int] = []
+        for robot in self.robots:
+            rid = robot.robot_id
+            if rid not in active:
+                continue
+            robot.last_active_round = self.round_index
+            self._last_active[rid] = self.round_index
+            entry = pending.get(rid)
+            if entry is None:
+                # LOOK + COMPUTE against the *current* configuration.
+                phase_span = (
+                    tracer.begin("look", "phase", attrs={"robot": rid})
+                    if tracer is not None
+                    else None
+                )
+                dest = self._destination_for(robot, config_before)
+                if tracer is not None:
+                    tracer.end(phase_span)
+                if dest is None:
+                    continue
+                pending[rid] = PendingMove(dest, self.round_index)
+                destinations[rid] = dest
+            else:
+                # MOVE towards the (possibly stale) destination.
+                phase_span = (
+                    tracer.begin("move", "phase", attrs={"robot": rid})
+                    if tracer is not None
+                    else None
+                )
+                if entry.looked_at_tick < self.round_index - 1:
+                    self.stale_moves += 1
+                del pending[rid]
+                if self._resolve_move(robot, entry.destination):
+                    moved.append(rid)
+                if tracer is not None:
+                    tracer.end(phase_span)
+                destinations[rid] = entry.destination
+        return destinations, moved
+
     def step(self) -> RoundRecord:
-        """Execute one ATOM round and return its record.
+        """Execute one round (ATOM) or tick (ASYNC) and return its record.
 
         Raises :class:`BivalentConfigurationError` if the algorithm
         refuses the current configuration; :meth:`run` converts this
         into the ``impossible`` verdict.
 
-        Observability: with the obs layer on, the round is timed (the
-        ``round_seconds`` histogram) and, when tracing is active, the
-        round becomes a span with three phase children.  ATOM phases
-        are round-global barriers, so ``look`` covers fixing the
+        Observability: with the obs layer on, the step is timed (the
+        ``round_seconds`` histogram) and, when tracing is active, it
+        becomes a span.  Atomic phases are round-global barriers, so the
+        round span gets three phase children: ``look`` covers fixing the
         snapshot everyone acts on (crashes + scheduling), ``compute``
         the fused per-robot LOOK+COMPUTE loop, and ``move`` the
-        simultaneous move resolution.  All of it sits behind the same
-        one-attribute-read guard as event recording: a disabled process
-        allocates no span objects and reads no clock.
+        simultaneous move resolution.  Phased activation has no such
+        barrier — LOOK and MOVE activations interleave per robot, which
+        is the point of the CORDA model — so each activation gets its
+        *own* phase span labelled with the robot id.  All of it sits
+        behind the same one-attribute-read guard as event recording: a
+        disabled process allocates no span objects and reads no clock.
         """
+        phased = self.activation.phased
         obs_on = _obs.state.enabled
         started = time.perf_counter() if obs_on else 0.0
         tracer = _obs.tracer if obs_on and _obs.tracer.active else None
         round_span = (
-            tracer.begin("round", "round", attrs={"round": self.round_index})
+            tracer.begin(
+                "tick" if phased else "round",
+                "round",
+                attrs={"round": self.round_index},
+            )
             if tracer is not None
             else None
         )
@@ -440,7 +650,11 @@ class Simulation:
         cls = classify(config_before)
 
         # 1. Crashes.
-        phase_span = tracer.begin("look", "phase") if tracer is not None else None
+        phase_span = (
+            tracer.begin("look", "phase")
+            if tracer is not None and not phased
+            else None
+        )
         crash_now = self.crash_adversary.crashes(
             self.round_index,
             self.live_ids(),
@@ -451,6 +665,7 @@ class Simulation:
         for robot in self.robots:
             if robot.robot_id in crash_now:
                 robot.crash(self.round_index)
+                self.activation.on_crash(robot.robot_id)
 
         # 2. Scheduling (fair).
         active = self.scheduler.select(
@@ -460,84 +675,16 @@ class Simulation:
             self._last_active,
             positions=self.positions(),
         )
-        if tracer is not None:
+        if phase_span is not None:
             tracer.end(phase_span)
-            phase_span = tracer.begin("compute", "phase")
 
-        # 3. Atomic LCM for every active robot, against one snapshot.
-        destinations: Dict[int, Point] = {}
-        for robot in self.robots:
-            if robot.robot_id not in active:
-                continue
-            policy = self.byzantine.get(robot.robot_id)
-            if policy is not None:
-                # Adversary-controlled robot: omniscient, frame-free.
-                destinations[robot.robot_id] = policy.destination(
-                    robot.robot_id,
-                    self.positions(),
-                    self.correct_ids(),
-                    self.round_index,
-                    self._byz_rng,
-                )
-                continue
-            frame = robot.anchored_frame()
-            local_config = self._local_configuration(robot)
-            local_me = frame.to_local(robot.position)
-            if self.sensor_noise > 0.0:
-                # A *noisy observer* can transiently see a bivalent-
-                # looking blob that the true configuration is not; its
-                # refusal means "I stay this cycle", not global
-                # impossibility (which the engine judges on the exact
-                # positions).
-                try:
-                    local_dest = self.algorithm.compute(local_config, local_me)
-                except BivalentConfigurationError:
-                    continue
-            else:
-                local_dest = self.algorithm.compute(local_config, local_me)
-            dest = frame.to_global(local_dest)
-            dest = self._snap_destination(dest, config_before)
-            destinations[robot.robot_id] = dest
-        if tracer is not None:
-            tracer.end(phase_span)
-            phase_span = tracer.begin("move", "phase")
-
-        # 4. Simultaneous moves (the movement model may truncate them).
-        # Collusive adversaries get to see the whole round's moves first.
-        if hasattr(self.movement, "begin_round"):
-            self.movement.begin_round(
-                {
-                    rid: (self._robot_by_id(rid).position, dest)
-                    for rid, dest in destinations.items()
-                }
-            )
-        moved: List[int] = []
-        for robot in self.robots:
-            dest = destinations.get(robot.robot_id)
-            if dest is None:
-                continue
-            if hasattr(self.movement, "endpoint_for"):
-                end = self.movement.endpoint_for(
-                    robot.robot_id, robot.position, dest
-                )
-            else:
-                end = self.movement.endpoint(robot.position, dest, self._move_rng)
-            if end.distance_to(dest) <= self.tol.eps_dist:
-                end = dest
-            if end != robot.position:
-                robot.distance_travelled += robot.position.distance_to(end)
-                robot.position = end
-                moved.append(robot.robot_id)
-            robot.last_active_round = self.round_index
-            self._last_active[robot.robot_id] = self.round_index
+        # 3./4. LCM phases, structured by the activation model.
+        if phased:
+            destinations, moved = self._step_phased(active, config_before, tracer)
+        else:
+            destinations, moved = self._step_atomic(active, config_before, tracer)
 
         self._last_moved = set(moved)
-        if moved:
-            # Positions changed: every cached snapshot is stale.
-            self._config_cache = None
-            self._local_config_cache.clear()
-        if tracer is not None:
-            tracer.end(phase_span)
         config_after = self.configuration()
         record = RoundRecord(
             round_index=self.round_index,
@@ -559,7 +706,7 @@ class Simulation:
                 round_span.attrs["moved"] = len(moved)
                 tracer.end(round_span)
             _obs.record_round(
-                RoundEvent.from_record(record, engine="atom"),
+                RoundEvent.from_record(record, engine=self.activation.name),
                 seconds=time.perf_counter() - started,
             )
         self.round_index += 1
@@ -572,6 +719,15 @@ class Simulation:
             self.positions(), self.correct_ids(), self.effective_tol
         )
         if spot is None:
+            return None
+        # Under phased activation a stale pending destination may be
+        # about to pull a live robot back out of the spot — that refutes
+        # stability no matter what a fresh LOOK would compute.  (Atomic
+        # activation never holds pending moves, so this is free there.)
+        divergent = getattr(self.activation, "divergent_pending", None)
+        if divergent is not None and divergent(
+            spot, self.live_ids(), self.effective_tol
+        ):
             return None
         # Stability is judged through the robots' own (possibly
         # visibility-limited, resolution-limited) eyes: what would a
@@ -603,6 +759,11 @@ class Simulation:
         """
         if self.byzantine or self.sensor_noise > 0.0:
             return False
+        # A half-finished cycle is not a fixpoint: the pending MOVE may
+        # still change the configuration even if every fresh LOOK says
+        # stay.
+        if self.activation.pending:
+            return False
         live_positions = {
             r.position for r in self.robots if r.live
         }
@@ -610,7 +771,7 @@ class Simulation:
             for p in live_positions:
                 view = (
                     config
-                    if self.visibility is None and self.sensor_noise == 0.0
+                    if self.visibility is None
                     else Configuration(
                         self._visible_points(p), self.effective_tol
                     )
@@ -627,7 +788,9 @@ class Simulation:
         """Run until gathered / impossible / stalled / out of rounds."""
         run_span = (
             _obs.tracer.begin(
-                "run", "run", attrs={"engine": "atom", "seed": self.seed}
+                "run",
+                "run",
+                attrs={"engine": self.activation.name, "seed": self.seed},
             )
             if _obs.state.enabled and _obs.tracer.active
             else None
@@ -661,14 +824,15 @@ class Simulation:
                 run_span.attrs["verdict"] = verdict
                 run_span.attrs["rounds"] = self.round_index
                 _obs.tracer.end(run_span)
-            _obs.record_run_end(
-                {
-                    "engine": "atom",
-                    "verdict": verdict,
-                    "rounds": self.round_index,
-                    "seed": self.seed,
-                }
-            )
+            run_end = {
+                "engine": self.activation.name,
+                "verdict": verdict,
+                "rounds": self.round_index,
+                "seed": self.seed,
+            }
+            if self.activation.phased:
+                run_end["stale_moves"] = self.stale_moves
+            _obs.record_run_end(run_end)
         return SimulationResult(
             verdict=verdict,
             rounds=self.round_index,

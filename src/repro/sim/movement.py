@@ -14,6 +14,10 @@ Models:
 * :class:`AdversarialStop` — the worst case: every long move is cut at
   exactly ``delta``.
 * :class:`RandomStop` — uniformly random cut in ``[delta, distance]``.
+* :class:`CollusiveStop` — coordinated stops stacking common-ray movers
+  (identity-aware via ``begin_round`` / ``endpoint_for``).
+* :class:`PerRobotSpeed` — heterogeneous per-robot speed caps (not an
+  adversary; the LCMmodel-style speed axis).
 
 All models return the destination *bitwise* when it is reached, so exact
 multiplicities form whenever the algorithm sends robots to an occupied
@@ -33,6 +37,7 @@ __all__ = [
     "AdversarialStop",
     "RandomStop",
     "CollusiveStop",
+    "PerRobotSpeed",
 ]
 
 
@@ -88,12 +93,13 @@ class CollusiveStop(_DeltaModel):
 
     When several robots move along a *common ray* towards a *common
     destination*, this adversary stops all of them at one shared point
-    (the legal stop closest to the destination for the least-advanced
-    mover), stacking them into a single multiplicity point.  All other
-    moves complete.  This is the strongest stopping adversary the model
-    permits — every robot still progresses at least ``delta`` — and it
-    is exactly the attack that Definition 8 (safe points) and the
-    side-step rule of case ``M`` are designed to survive.
+    (the ``delta``-stop of the *most*-advanced mover — the farthest
+    legal common stop from the destination), stacking them into a
+    single multiplicity point.  All other moves complete.  This is the
+    strongest stopping adversary the model permits — every robot still
+    progresses at least ``delta`` — and it is exactly the attack that
+    Definition 8 (safe points) and the side-step rule of case ``M`` are
+    designed to survive.
 
     The engine calls :meth:`begin_round` with all of the round's moves
     so the adversary can coordinate; ``endpoint`` then serves each robot
@@ -126,9 +132,10 @@ class CollusiveStop(_DeltaModel):
         for members in groups.values():
             if len(members) < 2:
                 continue
-            # Shared stop: the least-advanced mover travels exactly
-            # delta; everyone else is stopped at the same point (legal,
-            # since they travel more than delta).
+            # Shared stop: the most-advanced mover (smallest remaining
+            # distance) travels exactly delta; everyone farther back is
+            # stopped at the same point (legal, since they travel more
+            # than delta to reach it).
             rid0, origin0, dest0, dist0 = min(members, key=lambda m: m[3])
             stop = origin0 + (dest0 - origin0) * (self.delta / dist0)
             for rid, _origin, _dest, _dist in members:
@@ -144,6 +151,47 @@ class CollusiveStop(_DeltaModel):
         # Fallback for engines that do not pass identities: behave
         # rigidly (collusion needs begin_round + endpoint_for).
         return destination
+
+
+class PerRobotSpeed:
+    """Heterogeneous robot speeds (the LCMmodel scheduler axis).
+
+    Robot ``i`` travels at most ``speeds[i % len(speeds)]`` per MOVE
+    activation (reaching the destination exactly when it is within
+    reach).  Every speed is strictly positive, so the Section II
+    ``delta`` guarantee holds with ``delta = min(speeds)`` — this is a
+    *fault-free* heterogeneity model, not an adversary: slow robots
+    simply take more activations to arrive.
+
+    The engine resolves moves through :meth:`endpoint_for` (identity
+    aware); the identity-blind :meth:`endpoint` fallback caps every
+    move at the slowest speed, the only identity-free bound that never
+    overshoots a robot's real capability.
+    """
+
+    def __init__(self, speeds) -> None:
+        self.speeds = tuple(float(s) for s in speeds)
+        if not self.speeds:
+            raise ValueError("per-robot-speed needs at least one speed")
+        if any(not s > 0.0 for s in self.speeds):
+            raise ValueError("speeds must be strictly positive (Section II)")
+        label = ",".join(f"{s:g}" for s in self.speeds)
+        self.name = f"per-robot-speed({label})"
+
+    def speed_of(self, robot_id: int) -> float:
+        return self.speeds[robot_id % len(self.speeds)]
+
+    def _capped(self, origin: Point, destination: Point, cap: float) -> Point:
+        dist = origin.distance_to(destination)
+        if dist <= cap:
+            return destination
+        return origin + (destination - origin) * (cap / dist)
+
+    def endpoint_for(self, robot_id: int, origin: Point, destination: Point) -> Point:
+        return self._capped(origin, destination, self.speed_of(robot_id))
+
+    def endpoint(self, origin: Point, destination: Point, rng: random.Random) -> Point:
+        return self._capped(origin, destination, min(self.speeds))
 
 
 class RandomStop(_DeltaModel):

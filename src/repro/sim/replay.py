@@ -360,6 +360,8 @@ def diff_command(scenario, seed: int, max_rounds: Optional[int] = None) -> str:
         f"--movement {scenario.movement}",
         f"--seeds {seed}",
     ]
+    if getattr(scenario, "visibility", None) is not None:
+        parts.append(f"--visibility {scenario.visibility:g}")
     if max_rounds is not None:
         parts.append(f"--max-rounds {max_rounds}")
     return " ".join(parts)

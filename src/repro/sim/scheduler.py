@@ -1,11 +1,11 @@
-"""Activation schedulers for the ATOM (semi-synchronous) model.
+"""Activation schedulers for the LCM-cycle engine.
 
-Each round the adversarial scheduler picks an arbitrary non-empty subset
-of the live robots to execute one atomic Look-Compute-Move cycle.  The
-only obligation is *fairness*: every correct robot is activated
-infinitely often.  The engine enforces fairness mechanically (see
-:class:`FairnessWrapper`), so individual schedulers are free to be as
-hostile as they like.
+Each round the adversarial scheduler picks an arbitrary subset of the
+live robots to advance (one atomic cycle under ATOM, one phase under
+the phased/CORDA activation model).  The only obligation is *fairness*:
+every correct robot is activated infinitely often.  The engine enforces
+fairness mechanically (see :class:`FairnessWrapper`), so individual
+schedulers are free to be as hostile as they like.
 
 The suite of schedulers mirrors the extremes the correctness proofs
 quantify over:
@@ -15,10 +15,13 @@ quantify over:
   among fair ATOM schedules).
 * :class:`RandomSubset` — independent coin per robot (the "generic"
   adversary used for statistical experiments).
-* :class:`SingleMoverAdversary` — activates only robots whose instruction
-  is to *move* whenever possible, maximizing configuration churn.
 * :class:`LaggardAdversary` — starves a chosen victim for as long as
   fairness permits, modelling the slowest-robot worst case.
+* :class:`HalfSplitAdversary` — the impossibility proof's scheduler:
+  activates one co-located cluster at a time, re-creating bivalent
+  stand-offs forever against naive algorithms.
+* :class:`PoissonScheduler` — per-robot exponential activation clocks
+  (the LCMmodel-style continuous-time schedule, discretized).
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ __all__ = [
     "RandomSubset",
     "LaggardAdversary",
     "HalfSplitAdversary",
+    "PoissonScheduler",
     "FairnessWrapper",
 ]
 
@@ -160,6 +164,53 @@ class HalfSplitAdversary:
         if round_index % 2 == 0 or not rest:
             return cluster
         return rest
+
+
+class PoissonScheduler:
+    """Per-robot exponential activation clocks, discretized to rounds.
+
+    Each robot owns an independent Poisson process of rate ``rate``: the
+    gaps between its activations are exponential draws, so activations
+    cluster and starve stochastically the way continuous-time schedules
+    (the LCMmodel design) do — unlike :class:`RandomSubset`, whose
+    per-round coins make every gap geometric with a hard floor of one
+    round.  A robot is activated in every round its next event time has
+    reached; its clock then advances by fresh exponential gaps past the
+    current round.
+
+    Robots are iterated in sorted id order and all draws come from the
+    engine's dedicated scheduler substream, so a (seed, rate) pair fixes
+    the whole schedule.  Fairness is not guaranteed by the process alone
+    (a tail of long gaps can starve a robot arbitrarily long);
+    :class:`FairnessWrapper` supplies the bound as usual.
+    """
+
+    name = "poisson"
+
+    def __init__(self, rate: float = 0.5) -> None:
+        if not rate > 0.0:
+            raise ValueError("activation rate must be strictly positive")
+        self.rate = rate
+        self.name = f"poisson(rate={rate:g})"
+        self._next: dict = {}
+
+    def select(
+        self, round_index: int, live_ids: Sequence[int], rng: random.Random
+    ) -> Set[int]:
+        chosen: Set[int] = set()
+        for rid in sorted(live_ids):
+            t = self._next.get(rid)
+            if t is None:
+                # Clock starts at the robot's first scheduled round: the
+                # first gap is drawn from the same exponential as later
+                # ones (time 0 is the start of the execution).
+                t = rng.expovariate(self.rate)
+            if t <= round_index:
+                chosen.add(rid)
+                while t <= round_index:
+                    t += rng.expovariate(self.rate)
+            self._next[rid] = t
+        return chosen
 
 
 class FairnessWrapper:

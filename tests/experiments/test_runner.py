@@ -17,13 +17,21 @@ from repro.experiments.runner import (
 
 class TestFactories:
     @pytest.mark.parametrize(
-        "name", ["fsync", "round-robin", "random", "laggard", "half-split"]
+        "name",
+        ["fsync", "round-robin", "random", "laggard", "half-split", "poisson"],
     )
     def test_schedulers(self, name):
         assert make_scheduler(name) is not make_scheduler(name)  # fresh
 
     @pytest.mark.parametrize(
-        "name", ["rigid", "adversarial-stop", "random-stop", "collusive-stop"]
+        "name",
+        [
+            "rigid",
+            "adversarial-stop",
+            "random-stop",
+            "collusive-stop",
+            "per-robot-speed",
+        ],
     )
     def test_movements(self, name):
         assert make_movement(name).name.startswith(name.split("(")[0])
@@ -114,7 +122,7 @@ class TestParallelRunner:
 class TestRegistry:
     def test_all_experiments_registered(self):
         assert sorted(EXPERIMENTS) == [
-            "e1", "e10", "e11", "e12", "e13", "e14", "e15", "e16",
+            "e1", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17",
             "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
         ]
 

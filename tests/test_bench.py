@@ -15,8 +15,8 @@ from repro.bench import (
 from repro.geometry import kernels
 
 
-def _doc(micro_s=0.010, round_s=0.100, batch_seed_s=0.001, serve_warm_s=0.001,
-         generated_at="2026-01-01T00:00:00"):
+def _doc(micro_s=0.010, round_s=0.100, batch_seed_s=0.001, lcm_cycle_s=0.050,
+         serve_warm_s=0.001, generated_at="2026-01-01T00:00:00"):
     """A minimal one-key bench document with controllable timings."""
     return {
         "schema": SCHEMA,
@@ -34,6 +34,10 @@ def _doc(micro_s=0.010, round_s=0.100, batch_seed_s=0.001, serve_warm_s=0.001,
              "round_s": batch_seed_s * 256,
              "per_seed_round_s": batch_seed_s,
              "seed_rounds_per_s": 1.0 / batch_seed_s},
+        ],
+        "lcm_round_throughput": [
+            {"activation": "async", "backend": "python", "n": 16,
+             "cycle_s": lcm_cycle_s, "robots_per_s": 16 / lcm_cycle_s},
         ],
         "serve_request_latency": [
             {"endpoint": "run", "n": 6, "cold_s": 0.050,
@@ -71,6 +75,15 @@ class TestBenchDocument:
             assert entry["backend"] in kernels.available_backends()
         for entry in document["round_throughput"]:
             assert entry["robots_per_s"] > 0.0
+        # LCM-cycle section: both activation models measured, on the
+        # python backend (the scalar unified loop).
+        activations = {
+            entry["activation"] for entry in document["lcm_round_throughput"]
+        }
+        assert activations == {"atom", "async"}
+        for entry in document["lcm_round_throughput"]:
+            assert entry["backend"] == "python"
+            assert entry["cycle_s"] > 0.0
         # Serve latency section: present, and the warm cache hit is
         # strictly cheaper than the cold simulating request.
         for entry in document["serve_request_latency"]:
@@ -125,13 +138,18 @@ class TestBenchDocument:
         regressions = check_regressions(
             history,
             _doc(micro_s=0.050, round_s=0.500, batch_seed_s=0.005,
-                 serve_warm_s=0.005),
+                 lcm_cycle_s=0.250, serve_warm_s=0.005),
             threshold=0.25,
         )
         assert {r["metric"] for r in regressions} == {
             "micro", "round_throughput", "batch_round_throughput",
-            "serve_request_latency",
+            "lcm_round_throughput", "serve_request_latency",
         }
+        lcm = next(
+            r for r in regressions if r["metric"] == "lcm_round_throughput"
+        )
+        assert lcm["key"] == "async/16"
+        assert lcm["ratio"] == pytest.approx(5.0)
         serve = next(
             r for r in regressions if r["metric"] == "serve_request_latency"
         )
