@@ -38,6 +38,12 @@ Schema (``repro-bench/1``)
     ``repeats`` cache hits — the serving layer's overhead floor, which
     the regression gate watches.  Skipped (empty) when the loopback
     socket cannot bind.
+``serve_shed_latency``
+    Response latency under synthetic overload (every handler slowed by
+    deterministic chaos, all clients firing at once), once with
+    ``--max-inflight`` admission control and once unbounded: p50/p99/max
+    plus the shed count per mode.  Recorded for the load-shed curve in
+    EXPERIMENTS.md, not gated — the warm-hit key above is the gate.
 ``speedups``
     Python-over-numpy ratios of the round times per size (only when
     both backends ran), plus batched-over-scalar per-seed-round ratios
@@ -252,6 +258,90 @@ def _serve_request_latency(repeats: int) -> List[Dict]:
     ]
 
 
+def _serve_shed_latency(threads: int = 8, per_thread: int = 4) -> List[Dict]:
+    """Response latency under real overload, with and without admission
+    control.
+
+    ``threads * per_thread`` uncacheable requests (``"cache": false`` —
+    every one computes) arrive at once and serialize behind the daemon's
+    single simulation slot.  With ``--max-inflight`` the daemon sheds
+    the excess as instant 429s, so the latency distribution stays flat;
+    unbounded, every request queues behind the slot and the tail grows
+    linearly with the offered load.  Recorded (p50/p99/shed per mode),
+    not gated — the *warm hit* latency key is the regression gate; this
+    section documents the load-shed curve for EXPERIMENTS.md.
+    """
+    import threading as _threading
+
+    from .serve.server import ReproServer, _request
+
+    entries: List[Dict] = []
+    for mode, max_inflight in (("admission", 2), ("unbounded", None)):
+        try:
+            server = ReproServer(port=0, max_inflight=max_inflight)
+        except OSError:
+            return entries
+        thread = _threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            payload = {
+                "scenario": _SERVE_SCENARIO,
+                "seed": 0,
+                "cache": False,
+            }
+            status, _, _ = _request(
+                server.host, server.port, "POST", "/run", payload
+            )
+            if status != 200:
+                return entries
+            latencies: List[float] = []
+            shed = [0]
+            lock = _threading.Lock()
+            barrier = _threading.Barrier(threads)
+
+            def client_thread():
+                barrier.wait()
+                for _ in range(per_thread):
+                    start = time.perf_counter()
+                    response_status, _, _ = _request(
+                        server.host, server.port, "POST", "/run", payload
+                    )
+                    elapsed = time.perf_counter() - start
+                    with lock:
+                        latencies.append(elapsed)
+                        if response_status == 429:
+                            shed[0] += 1
+
+            workers = [
+                _threading.Thread(target=client_thread)
+                for _ in range(threads)
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+        finally:
+            server.close()
+            thread.join(timeout=30)
+        latencies.sort()
+        offered = len(latencies)
+        entries.append(
+            {
+                "mode": mode,
+                "max_inflight": max_inflight,
+                "offered": offered,
+                "ok": offered - shed[0],
+                "shed": shed[0],
+                "p50_s": latencies[offered // 2],
+                "p99_s": latencies[min(offered - 1, (offered * 99) // 100)],
+                "max_s": latencies[-1],
+            }
+        )
+    return entries
+
+
 def run_bench(
     sizes: Optional[Sequence[int]] = None,
     repeats: int = 3,
@@ -335,6 +425,9 @@ def run_bench(
     # best-of robust against scheduler noise.
     serve_request_latency = _serve_request_latency(max(repeats, 5))
 
+    say("serve shed latency (overload, admission on/off)")
+    serve_shed_latency = _serve_shed_latency()
+
     speedups: List[Dict] = []
     by_size: Dict[int, Dict[str, float]] = {}
     for entry in round_throughput:
@@ -381,6 +474,7 @@ def run_bench(
         "batch_round_throughput": batch_round_throughput,
         "lcm_round_throughput": lcm_round_throughput,
         "serve_request_latency": serve_request_latency,
+        "serve_shed_latency": serve_shed_latency,
         "speedups": speedups,
     }
 

@@ -396,11 +396,73 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--retries", type=int, default=2,
                        help="attributable failures tolerated per seed "
                             "(default 2)")
+    serve.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                       help="weighted in-flight budget; excess requests "
+                            "are shed with a structured 429 + Retry-After "
+                            "(a /run costs 1 unit, a /sweep costs "
+                            "--sweep-weight; default: unbounded)")
+    serve.add_argument("--sweep-weight", type=int, default=4, metavar="W",
+                       help="admission weight of one /sweep request "
+                            "(default 4)")
+    serve.add_argument("--request-deadline", type=float, default=None,
+                       metavar="SEC",
+                       help="default wall-clock budget per request — "
+                            "queueing and compute both count; exceeded "
+                            "budgets return a structured 504 and free "
+                            "the slot (per-request 'deadline_s' "
+                            "overrides; default: unbounded)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="SEC",
+                       help="graceful-shutdown drain: on SIGTERM wait up "
+                            "to SEC for in-flight requests before "
+                            "closing (default 10)")
+    serve.add_argument("--breaker-threshold", type=int, default=5,
+                       metavar="N",
+                       help="worker-crash failures within "
+                            "--breaker-window that flip /readyz to 503 "
+                            "(default 5)")
+    serve.add_argument("--breaker-window", type=float, default=30.0,
+                       metavar="SEC",
+                       help="rolling window of the readiness circuit "
+                            "breaker (default 30)")
+    serve.add_argument("--breaker-cooldown", type=float, default=10.0,
+                       metavar="SEC",
+                       help="seconds an open breaker waits before "
+                            "half-opening (default 10)")
     serve.add_argument("--selftest", action="store_true",
                        help="start a daemon on an ephemeral port, "
                             "exercise every endpoint (cache hits, "
                             "byte-identical repeats, latency ratio, "
-                            "error mapping), and exit")
+                            "error mapping, load shedding, deadlines), "
+                            "and exit")
+    serve.add_argument("--selftest-timeout", type=float, default=120.0,
+                       metavar="SEC",
+                       help="per-round-trip client timeout of the "
+                            "selftest (default 120)")
+
+    serve_store = sub.add_parser(
+        "serve-store",
+        help="audit an on-disk serve result store",
+        description=(
+            "Offline maintenance of a 'repro serve --store' directory. "
+            "'verify' digest-checks every entry against its "
+            "repro-store/1 header (corrupt entries are quarantined "
+            "unless --no-repair); 'gc' deletes quarantined entries and "
+            "stray temp files; 'stats' reports entry/byte counts.  All "
+            "three are safe against a live daemon: entries are only "
+            "ever replaced atomically."
+        ),
+    )
+    serve_store.add_argument("action", choices=("verify", "gc", "stats"),
+                             help="what to do with the store")
+    serve_store.add_argument("store", metavar="DIR",
+                             help="the store root directory ('--store' "
+                                  "of the daemon)")
+    serve_store.add_argument("--no-repair", action="store_true",
+                             help="verify only reports corruption "
+                                  "instead of quarantining it")
+    serve_store.add_argument("--json", action="store_true",
+                             help="emit the summary as JSON on stdout")
 
     export = sub.add_parser(
         "trace-export",
@@ -1003,7 +1065,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     policy = RunPolicy(timeout=args.timeout, retries=args.retries)
     if args.selftest:
-        return run_selftest(workers=args.workers, store_root=args.store)
+        return run_selftest(
+            workers=args.workers,
+            store_root=args.store,
+            request_timeout=args.selftest_timeout,
+        )
 
     server = ReproServer(
         host=args.host,
@@ -1013,6 +1079,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_enabled=not args.no_cache,
         memory_entries=args.memory_entries,
         policy=policy,
+        max_inflight=args.max_inflight,
+        sweep_weight=args.sweep_weight,
+        request_deadline=args.request_deadline,
+        drain_timeout=args.drain_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_window=args.breaker_window,
+        breaker_cooldown=args.breaker_cooldown,
     )
     # serve_forever runs on a worker thread so the main thread stays
     # free to receive signals: calling httpd.shutdown() from a signal
@@ -1028,19 +1101,77 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flush=True,
     )
     print(
-        "  endpoints: POST /run  POST /sweep  GET /healthz  GET /metrics",
+        "  endpoints: POST /run  POST /sweep  GET /healthz  GET /readyz  "
+        "GET /metrics",
         flush=True,
     )
     if args.store:
         print(f"  store    : {args.store}", flush=True)
     if args.no_cache:
         print("  cache    : DISABLED (--no-cache)", flush=True)
+    if args.max_inflight is not None:
+        print(
+            f"  admission: {args.max_inflight} in-flight unit(s) "
+            f"(sweep weight {args.sweep_weight})",
+            flush=True,
+        )
+    if args.request_deadline is not None:
+        print(f"  deadline : {args.request_deadline}s per request", flush=True)
     try:
         stop.wait()
     finally:
-        print("shutting down", flush=True)
+        print("shutting down (draining in-flight requests)", flush=True)
         server.close()
         thread.join(timeout=10)
+    return 0
+
+
+def _cmd_serve_store(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .serve import ResultStore
+
+    store = ResultStore(args.store)
+    if args.action == "verify":
+        report = store.verify_disk(repair=not args.no_repair)
+        if args.json:
+            print(_json.dumps(report, sort_keys=True))
+        else:
+            print(
+                f"{report['root']}: {report['checked']} checked, "
+                f"{report['ok']} ok, {report['legacy']} legacy, "
+                f"{report['corrupt']} corrupt "
+                f"({report['quarantined']} quarantined), "
+                f"{report['unreadable']} unreadable"
+            )
+            for key in report["corrupt_keys"]:
+                print(f"  corrupt: {key}")
+        # Corruption that was repaired (quarantined) is a healthy
+        # outcome; unrepaired corruption and unreadable entries are
+        # what an operator must go look at.
+        bad = report["unreadable"] + (
+            report["corrupt"] if args.no_repair else 0
+        )
+        return 1 if bad else 0
+    if args.action == "gc":
+        report = store.gc_disk()
+        if args.json:
+            print(_json.dumps(report, sort_keys=True))
+        else:
+            print(
+                f"{report['root']}: removed {report['removed']} file(s), "
+                f"freed {report['freed_bytes']} byte(s)"
+            )
+        return 0
+    report = store.disk_stats()
+    if args.json:
+        print(_json.dumps(report, sort_keys=True))
+    else:
+        print(
+            f"{report['root']}: {report['entries']} entr(ies), "
+            f"{report['total_bytes']} byte(s), "
+            f"{report['quarantined']} quarantined"
+        )
     return 0
 
 
@@ -1348,6 +1479,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "serve-store":
+            return _cmd_serve_store(args)
         if args.command == "stats":
             return _cmd_stats(args)
         if args.command == "trace-export":

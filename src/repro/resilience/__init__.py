@@ -22,7 +22,10 @@ from .chaos import CHAOS_ENV, KILL_EXIT_CODE, ChaosPolicy
 from .errors import (
     ChaosInjectedError,
     ReproError,
+    RequestDeadlineError,
     SeedTimeoutError,
+    ServerDrainingError,
+    ServerOverloadedError,
     TraceFormatError,
     WorkerCrashError,
 )
@@ -35,6 +38,9 @@ __all__ = [
     "SeedTimeoutError",
     "ChaosInjectedError",
     "TraceFormatError",
+    "ServerOverloadedError",
+    "ServerDrainingError",
+    "RequestDeadlineError",
     "atomic_write",
     "fsync_handle",
     "promote",

@@ -28,6 +28,21 @@ Environment syntax (comma-separated ``key=value``)::
     Decorrelates one chaos schedule from another.
 
 ``raise`` is accepted as an alias for ``error``.
+
+Serve-scoped faults (``repro serve`` consults these; the worker-side
+``inject`` ignores them, so one spec can drive both layers)::
+
+    REPRO_CHAOS="seed=7,serve_slow=0.3,serve_slow_s=0.2,store_read=0.2,store_write=0.2"
+
+``serve_slow``
+    Probability that a request handler sleeps ``serve_slow_s`` before
+    doing any work — a synthetic slow client/handler that holds its
+    admission slot and trips deadlines.
+``store_read``/``store_write``
+    Probabilities that one :class:`~repro.serve.store.ResultStore` disk
+    read / write raises ``OSError`` — exercising exactly the production
+    degradation paths (a failed read is a miss, a failed write degrades
+    to memory-only), never a bespoke test-only branch.
 """
 
 from __future__ import annotations
@@ -50,7 +65,16 @@ CHAOS_ENV = "REPRO_CHAOS"
 KILL_EXIT_CODE = 86
 
 _FIELD_ALIASES = {"raise": "error"}
-_FLOAT_FIELDS = {"kill", "error", "delay", "delay_s"}
+_FLOAT_FIELDS = {
+    "kill",
+    "error",
+    "delay",
+    "delay_s",
+    "serve_slow",
+    "serve_slow_s",
+    "store_read",
+    "store_write",
+}
 _INT_FIELDS = {"seed"}
 _STR_FIELDS = {"match"}
 
@@ -64,11 +88,21 @@ class ChaosPolicy:
     error: float = 0.0
     delay: float = 0.0
     delay_s: float = 0.05
+    serve_slow: float = 0.0
+    serve_slow_s: float = 0.05
+    store_read: float = 0.0
+    store_write: float = 0.0
     match: Optional[str] = None
 
     @property
     def enabled(self) -> bool:
+        """Worker-side faults present (what the executor consults)."""
         return (self.kill + self.error + self.delay) > 0.0
+
+    @property
+    def serve_enabled(self) -> bool:
+        """Serve-scoped faults present (what the daemon consults)."""
+        return (self.serve_slow + self.store_read + self.store_write) > 0.0
 
     @classmethod
     def from_env(cls, environ: Optional[dict] = None) -> Optional["ChaosPolicy"]:
@@ -121,6 +155,12 @@ class ChaosPolicy:
                 parts.append(f"{name}={value}")
         if self.delay:
             parts.append(f"delay_s={self.delay_s}")
+        for name in ("serve_slow", "store_read", "store_write"):
+            value = getattr(self, name)
+            if value:
+                parts.append(f"{name}={value}")
+        if self.serve_slow:
+            parts.append(f"serve_slow_s={self.serve_slow_s}")
         if self.match:
             parts.append(f"match={self.match}")
         return ",".join(parts)
@@ -174,3 +214,18 @@ class ChaosPolicy:
                 f"chaos exception for {key!r}, attempt {attempt}"
             )
         time.sleep(self.delay_s)
+
+    # -- serve-scoped decisions --------------------------------------------
+
+    def decide_serve(self, kind: str, key: str, attempt: int) -> bool:
+        """Whether serve-scoped fault ``kind`` fires for one attempt of
+        one key — deterministic like :meth:`decide`, but each fault kind
+        rolls its own independent dice (a slow handler and a store-read
+        error are separate hazards, not mutually exclusive branches of
+        one)."""
+        probability = getattr(self, kind)
+        if probability <= 0.0:
+            return False
+        if self.match is not None and self.match not in key:
+            return False
+        return self._uniform(f"{kind}:{key}", attempt) < probability

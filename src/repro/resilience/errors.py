@@ -22,6 +22,9 @@ __all__ = [
     "SeedTimeoutError",
     "ChaosInjectedError",
     "TraceFormatError",
+    "ServerOverloadedError",
+    "ServerDrainingError",
+    "RequestDeadlineError",
 ]
 
 
@@ -78,6 +81,48 @@ class ChaosInjectedError(ReproError):
     Distinct from real errors so a chaos test can assert that every
     failure it saw was one it injected.
     """
+
+
+class ServerOverloadedError(ReproError):
+    """``repro serve`` shed this request: the weighted in-flight budget
+    (``--max-inflight``) is spent.
+
+    Deliberately cheap to raise and map — load shedding only protects
+    the daemon if rejecting costs microseconds while computing costs
+    seconds.  ``retry_after_s`` becomes the ``Retry-After`` header, the
+    standard signal for a well-behaved client's backoff loop.
+    """
+
+    http_status = 429
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServerDrainingError(ReproError):
+    """``repro serve`` is shutting down gracefully: in-flight requests
+    are being drained and no new work is admitted.
+
+    503 (not 429): the condition is not load-dependent — the client
+    should fail over to another instance, not back off and retry here.
+    """
+
+    http_status = 503
+
+
+class RequestDeadlineError(ReproError, TimeoutError):
+    """A ``repro serve`` request exceeded its deadline (the server's
+    ``--request-deadline`` or the request's own ``"deadline_s"``).
+
+    Distinct from :class:`SeedTimeoutError` (one attempt of one seed ran
+    long) — this is the *request-level* budget: queue wait, cache
+    lookups and every seed's compute all draw from the same clock, and
+    when it runs out the slot is freed whether or not any single
+    attempt was slow.
+    """
+
+    http_status = 504
 
 
 class TraceFormatError(ReproError, ValueError):

@@ -58,6 +58,9 @@ class RunRequest:
     scenario: Scenario
     seed: int
     use_cache: bool
+    #: Per-request deadline override in seconds (``None``: the server's
+    #: ``--request-deadline`` applies).
+    deadline_s: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -67,6 +70,7 @@ class SweepRequest:
     scenario: Scenario
     seeds: List[int]
     use_cache: bool
+    deadline_s: Optional[float] = None
 
 
 def parse_json_body(raw: bytes, *, where: str = "request") -> dict:
@@ -133,17 +137,42 @@ def _parse_use_cache(data: dict, *, where: str) -> bool:
     return value
 
 
+def _parse_deadline(data: dict, *, where: str) -> Optional[float]:
+    """Optional ``"deadline_s"``: a positive number of seconds.
+
+    The per-request form of the server's ``--request-deadline`` — a
+    client that knows its own patience (an interactive UI vs. a batch
+    crawler) says so here and the server frees the slot at that point.
+    """
+    value = data.get("deadline_s")
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TraceFormatError(
+            f"{where}: field 'deadline_s' must be a number of seconds",
+            path=f"<{where}>",
+        )
+    if not value > 0:
+        raise TraceFormatError(
+            f"{where}: field 'deadline_s' must be > 0, got {value}",
+            path=f"<{where}>",
+        )
+    return float(value)
+
+
 def parse_run_request(data: dict) -> RunRequest:
     """Validated ``POST /run`` body: ``{"scenario": {...}, "seed": N}``.
 
     ``"cache": false`` opts this one request out of the result store
     (both lookup and fill) — the per-request form of ``--no-cache``.
+    ``"deadline_s": 2.5`` bounds this request's wall clock.
     """
     where = "POST /run"
     return RunRequest(
         scenario=_parse_scenario(data, where=where),
         seed=_parse_int(data, "seed", 0, where=where),
         use_cache=_parse_use_cache(data, where=where),
+        deadline_s=_parse_deadline(data, where=where),
     )
 
 
@@ -190,6 +219,7 @@ def parse_sweep_request(data: dict) -> SweepRequest:
         scenario=scenario,
         seeds=seeds,
         use_cache=_parse_use_cache(data, where=where),
+        deadline_s=_parse_deadline(data, where=where),
     )
 
 

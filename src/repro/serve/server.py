@@ -1,7 +1,7 @@
 """The ``repro serve`` daemon: gathering-as-a-service over HTTP/JSON.
 
 Stdlib only (:class:`http.server.ThreadingHTTPServer`), one process,
-four endpoints:
+five endpoints:
 
 * ``POST /run`` — one ``(scenario, seed)`` simulation; body is the
   deterministic JSON of :func:`~repro.serve.protocol.run_body`.
@@ -9,10 +9,16 @@ four endpoints:
   a chunked response: one run body per seed in seed order, then one
   deterministic summary line.  Per-seed lines share cache entries with
   ``/run``.
-* ``GET /healthz`` — liveness (never touches the simulator or store).
+* ``GET /healthz`` — liveness (never touches the simulator or store),
+  plus the readiness fields for humans.
+* ``GET /readyz`` — readiness as a status code: 200 while the daemon
+  should receive traffic, 503 while draining or while the circuit
+  breaker is open (the worker pool keeps crashing).
 * ``GET /metrics`` — request counters and latency histograms, cache
-  counters, and a ``repro-sweep-metrics-v1`` aggregate of everything
-  the simulations recorded, namespaced per endpoint.
+  counters, the robustness block (in-flight budget, breaker state,
+  shed/deadline/coalesce/quarantine counters), and a
+  ``repro-sweep-metrics-v1`` aggregate of everything the simulations
+  recorded, namespaced per endpoint.
 
 The daemon amortizes exactly the two costs the CLI pays per invocation:
 interpreter + import startup (the process is long-lived) and worker-pool
@@ -23,25 +29,38 @@ repeated traffic is answered from the content-addressed
 :class:`~repro.serve.store.ResultStore` at memory speed with
 byte-identical bodies.
 
+Self-protection (PR 9) mirrors the paper's wait-freedom at the HTTP
+layer: a weighted in-flight budget sheds excess load as structured 429s
+(``Retry-After`` included) instead of growing unbounded handler threads;
+every request runs under a wall-clock deadline
+(:class:`~repro.serve.admission.Deadline`) so a wedged seed becomes a
+taxonomy-mapped 504 that frees its slot; concurrent duplicate ``/run``\\ s
+coalesce onto one computation (:class:`~repro.serve.admission
+.SingleFlight`); and a rolling-window circuit breaker flips ``/readyz``
+when the worker pool keeps dying.  ``close()`` drains in-flight requests
+gracefully before tearing the pool down.
+
 Threading model: the HTTP layer is a thread per connection, but
 simulation work is serialized behind one lock — the pool (or the
 in-process serial executor) is a single shared resource, and the
 per-seed obs payloads are computed from snapshots of the process-global
 registry, which concurrent in-process runs would interleave.  Cache
-hits, ``/healthz`` and ``/metrics`` bypass the lock entirely, so the
-daemon stays responsive while a cold request computes.
+hits, ``/healthz``, ``/readyz`` and ``/metrics`` bypass the lock
+entirely, so the daemon stays responsive while a cold request computes.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import math
 import threading
 import time
+from dataclasses import replace
 from functools import partial
 from http.client import HTTPConnection
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import __version__
 from .. import obs as _obs
@@ -50,8 +69,23 @@ from ..geometry import kernels
 from ..obs.aggregate import Aggregator, namespace_delta
 from ..obs.histogram import Histogram
 from ..obs.metrics import Metrics
-from ..resilience import ReproError, RunPolicy
+from ..resilience import (
+    ChaosPolicy,
+    ReproError,
+    RequestDeadlineError,
+    RunPolicy,
+    SeedTimeoutError,
+    ServerDrainingError,
+    ServerOverloadedError,
+    WorkerCrashError,
+)
 from . import protocol
+from .admission import (
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    SingleFlight,
+)
 from .protocol import SERVE_SCHEMA
 from .store import ResultStore, result_key
 
@@ -61,8 +95,18 @@ logger = logging.getLogger("repro.serve")
 
 #: Seeds resolved (cache + compute) per flushed block of a sweep
 #: stream — small enough for live progress, large enough to amortize
-#: pool dispatch.
+#: pool dispatch.  Also the deadline-check granularity of a sweep.
 SWEEP_BLOCK = 16
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    #: socketserver's default listen backlog is 5 — under a connection
+    #: burst the excess lands in SYN retransmit (~1s stalls) before the
+    #: admission controller ever sees it.  Load shedding must happen
+    #: in-protocol (a fast structured 429), so accept generously and
+    #: let admission do the rejecting.
+    request_queue_size = 128
 
 
 class ReproServer:
@@ -71,6 +115,15 @@ class ReproServer:
     ``port=0`` binds an ephemeral port (read it back from :attr:`port`
     after construction) — what the selftest and the test suite use so
     parallel CI runs never collide.
+
+    ``max_inflight`` bounds concurrently admitted work in weighted
+    units (``/run`` = 1, ``/sweep`` = ``sweep_weight``); ``None``
+    admits everything (in-flight work is still counted for drain and
+    ``/metrics``).  ``request_deadline`` is the default wall-clock
+    budget per request (overridable per request via ``"deadline_s"``).
+    ``chaos`` defaults to ``REPRO_CHAOS`` from the environment; only
+    its serve-scoped faults act here (worker-side faults reach the
+    pool through the normal sweep machinery).
     """
 
     def __init__(
@@ -83,10 +136,34 @@ class ReproServer:
         cache_enabled: bool = True,
         memory_entries: int = 4096,
         policy: Optional[RunPolicy] = None,
+        max_inflight: Optional[int] = None,
+        sweep_weight: int = 4,
+        request_deadline: Optional[float] = None,
+        drain_timeout: float = 10.0,
+        breaker_threshold: int = 5,
+        breaker_window: float = 30.0,
+        breaker_cooldown: float = 10.0,
+        chaos: Optional[ChaosPolicy] = None,
     ) -> None:
         self.policy = policy or RunPolicy()
-        self.store = ResultStore(store_root, memory_entries=memory_entries)
+        if chaos is None:
+            chaos = ChaosPolicy.from_env()
+        self.chaos = chaos if chaos is not None and chaos.serve_enabled else None
+        self.store = ResultStore(
+            store_root, memory_entries=memory_entries, chaos=self.chaos
+        )
         self.cache_enabled = cache_enabled
+        self.request_deadline = request_deadline
+        self.drain_timeout = drain_timeout
+        self.admission = AdmissionController(
+            max_inflight, sweep_weight=sweep_weight
+        )
+        self.flights = SingleFlight()
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold,
+            window_s=breaker_window,
+            cooldown_s=breaker_cooldown,
+        )
         self.aggregator = Aggregator()
         #: Request-level registry (latency histograms, request/cache
         #: counters), separate from the process-global simulation
@@ -94,6 +171,9 @@ class ReproServer:
         #: obs payloads.
         self.request_metrics = Metrics()
         self._work_lock = threading.Lock()
+        self._draining = False
+        self._chaos_lock = threading.Lock()
+        self._chaos_seq: Dict[str, int] = {}
         self._pool = None
         self._pool_cm = None
         if workers and workers > 1:
@@ -106,8 +186,7 @@ class ReproServer:
         _obs.enable()
         self.started = time.monotonic()
         self._serving = threading.Event()
-        self.httpd = ThreadingHTTPServer((host, port), _Handler)
-        self.httpd.daemon_threads = True
+        self.httpd = _Server((host, port), _Handler)
         self.httpd.app = self
 
     @property
@@ -118,6 +197,21 @@ class ReproServer:
     def port(self) -> int:
         return self.httpd.server_address[1]
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def ready(self) -> bool:
+        """Should a load balancer send this daemon traffic *now*?
+
+        Liveness and readiness are different questions: a draining
+        daemon and one whose worker pool keeps crashing are both alive
+        (they answer ``/healthz``, they finish what they accepted) but
+        neither should receive new work.
+        """
+        return not self._draining and self.breaker.state != CircuitBreaker.OPEN
+
     def serve_forever(self) -> None:
         self._serving.set()
         try:
@@ -125,19 +219,118 @@ class ReproServer:
         finally:
             self._serving.clear()
 
-    def close(self) -> None:
-        """Clean shutdown: stop accepting, close the socket, drain the
-        pool.  Idempotent (SIGTERM handler and ``finally`` both call it)."""
+    def close(self, drain_s: Optional[float] = None) -> None:
+        """Graceful shutdown: stop admitting, drain in-flight requests
+        (up to ``drain_s`` seconds, default ``drain_timeout``), then
+        close the socket and tear the pool down.  Idempotent (SIGTERM
+        handler and ``finally`` both call it).
+        """
+        if drain_s is None:
+            drain_s = self.drain_timeout
+        # Flip readiness first: every new POST from here on is a 503,
+        # and /readyz tells the balancer to look elsewhere.
+        self._draining = True
         if self._serving.is_set():
             # shutdown() blocks on the serve loop exiting; calling it
-            # when serve_forever never ran would wait forever.
+            # when serve_forever never ran would wait forever.  Handler
+            # threads for already-accepted connections keep running.
             self.httpd.shutdown()
+        if not self.admission.drain(drain_s):
+            logger.warning(
+                "drain deadline of %.1fs expired with %d unit(s) still "
+                "in flight; closing anyway",
+                drain_s,
+                self.admission.inflight,
+            )
         self.httpd.server_close()
         if self._pool_cm is not None:
             self._pool_cm.__exit__(None, None, None)
             self._pool_cm = self._pool = None
 
+    # -- admission / chaos -------------------------------------------------
+
+    def admit(self, endpoint: str, weight: int) -> None:
+        """Admission gate of every POST: draining beats overloaded."""
+        if self._draining:
+            raise ServerDrainingError(
+                f"{endpoint}: daemon is draining for shutdown; "
+                "no new work is admitted"
+            )
+        self.admission.acquire(weight, endpoint=endpoint)
+
+    def chaos_slow(self, endpoint: str) -> None:
+        """Deterministic slow-handler fault (serve-scoped chaos)."""
+        if self.chaos is None or self.chaos.serve_slow <= 0.0:
+            return
+        with self._chaos_lock:
+            attempt = self._chaos_seq.get(endpoint, 0)
+            self._chaos_seq[endpoint] = attempt + 1
+        if self.chaos.decide_serve("serve_slow", f"serve.{endpoint}", attempt):
+            time.sleep(self.chaos.serve_slow_s)
+
+    def deadline_for(self, requested: Optional[float]) -> Deadline:
+        """The request's deadline: its own override, else the server's."""
+        return Deadline(
+            requested if requested is not None else self.request_deadline
+        )
+
     # -- execution ---------------------------------------------------------
+
+    def resolve_one(
+        self,
+        scenario: Scenario,
+        seed: int,
+        *,
+        use_cache: bool,
+        deadline: Deadline,
+        prefix: str = "serve.run",
+    ) -> Tuple[str, str]:
+        """The ``POST /run`` path: cache, then single-flight, then
+        compute.
+
+        Concurrent duplicates for the same content address coalesce
+        onto one computation: the first becomes the leader, the rest
+        wait for its bytes (state ``"coalesced"``) — determinism makes
+        the leader's body *the* body, so followers lose nothing but the
+        redundant work.
+        """
+        backend = kernels.get_backend()
+        key = result_key(
+            scenario.to_dict(),
+            seed,
+            backend=backend,
+            engine=scenario.engine,
+            code_version=__version__,
+        )
+        if not use_cache:
+            body = self._compute_one(scenario, seed, key, deadline, prefix)
+            return body, "bypass"
+        body = self.store.get(key)
+        if body is not None:
+            return body, "hit"
+        leader, flight = self.flights.lead_or_follow(key)
+        if not leader:
+            return SingleFlight.wait(flight, deadline), "coalesced"
+        try:
+            # Re-check under leadership: another leader (or daemon
+            # sharing the disk layer) may have landed the entry between
+            # our miss and winning the flight.
+            body = self.store.get(key, count=False)
+            state = "hit"
+            if body is None:
+                body = self._compute_one(
+                    scenario, seed, key, deadline, prefix
+                )
+                self.store.put(key, body)
+                state = "miss"
+        except BaseException as exc:
+            # Followers inherit the leader's failure — recomputing the
+            # same pure function would fail the same way, and N copies
+            # of one error must not become N computations.
+            self.flights.finish(key, flight, error=exc)
+            raise
+        self.flights.finish(key, flight, body=body)
+        return body, state
 
     def resolve(
         self,
@@ -146,14 +339,17 @@ class ReproServer:
         *,
         use_cache: bool,
         prefix: str,
+        deadline: Optional[Deadline] = None,
     ) -> List[Tuple[str, str]]:
         """``(body, cache_state)`` per seed, in seed order.
 
-        The single execution path of both endpoints: look every seed up
-        in the store, compute the misses in one (pooled) map, fill the
+        The block execution path of ``/sweep``: look every seed up in
+        the store, compute the misses in one (pooled) map, fill the
         store, and return deterministic bodies.  ``cache_state`` is
         ``"hit"`` / ``"miss"`` / ``"bypass"`` per seed.
         """
+        if deadline is not None:
+            deadline.check("before resolving a seed block")
         backend = kernels.get_backend()
         keys = [
             result_key(
@@ -176,7 +372,9 @@ class ReproServer:
                 todo.append(seed)
                 todo_keys.append(key)
         if todo:
-            results = self._execute(scenario, todo, prefix=prefix)
+            results = self._execute(
+                scenario, todo, prefix=prefix, deadline=deadline
+            )
             state = "miss" if use_cache else "bypass"
             for seed, key, result in zip(todo, todo_keys, results):
                 body = protocol.run_body(
@@ -192,25 +390,101 @@ class ReproServer:
                 resolved[seed] = (body, state)
         return [resolved[seed] for seed in seeds]
 
+    def _compute_one(
+        self,
+        scenario: Scenario,
+        seed: int,
+        key: str,
+        deadline: Deadline,
+        prefix: str,
+    ) -> str:
+        [result] = self._execute(
+            scenario, [seed], prefix=prefix, deadline=deadline
+        )
+        return protocol.run_body(
+            key,
+            scenario,
+            seed,
+            result,
+            backend=kernels.get_backend(),
+            code_version=__version__,
+        )
+
+    def _deadline_policy(self, deadline: Optional[Deadline]) -> RunPolicy:
+        """The run policy for one dispatch, deadline threaded in.
+
+        When the request deadline is the binding constraint (tighter
+        than the per-attempt ``--timeout``), the pooled attempt timeout
+        is clamped to the remaining budget *and retries are disabled* —
+        an attempt that consumed the whole request budget leaves
+        nothing for a retry to run in, so retrying would only hold the
+        admission slot past its deadline.
+        """
+        if deadline is None:
+            return self.policy
+        remaining = deadline.remaining()
+        if remaining is None:
+            return self.policy
+        remaining = max(remaining, 0.001)
+        if self.policy.timeout is None or remaining < self.policy.timeout:
+            return replace(self.policy, timeout=remaining, retries=0)
+        return self.policy
+
     def _execute(
-        self, scenario: Scenario, seeds: Sequence[int], *, prefix: str
+        self,
+        scenario: Scenario,
+        seeds: Sequence[int],
+        *,
+        prefix: str,
+        deadline: Optional[Deadline] = None,
     ) -> List:
         """Run the missing seeds through the warm pool (or serially,
         still under the retry machinery) and fold their obs payloads
-        into the aggregator under the endpoint's namespace."""
+        into the aggregator under the endpoint's namespace.
+
+        The deadline covers the queue too: waiting for the (single)
+        simulation slot draws from the same budget as computing, so a
+        request stuck behind a slow one 504s instead of queueing
+        unboundedly.  Worker-crash outcomes feed the circuit breaker.
+        """
         from ..experiments.runner import parallel_map
 
         label = scenario.label()
-        with self._work_lock:
-            results = parallel_map(
-                partial(run_scenario, scenario),
-                list(seeds),
-                pool=self._pool,
-                policy=self.policy,
-                keys=[f"{label}#seed{seed}" for seed in seeds],
+        remaining = None if deadline is None else deadline.remaining()
+        acquired = self._work_lock.acquire(
+            timeout=-1 if remaining is None else remaining
+        )
+        if not acquired:
+            raise RequestDeadlineError(
+                f"request deadline of {deadline.seconds}s exceeded while "
+                "queued for the simulation slot"
             )
+        try:
+            if deadline is not None:
+                deadline.check("while queued for the simulation slot")
+            try:
+                results = parallel_map(
+                    partial(run_scenario, scenario),
+                    list(seeds),
+                    pool=self._pool,
+                    policy=self._deadline_policy(deadline),
+                    keys=[f"{label}#seed{seed}" for seed in seeds],
+                )
+            except WorkerCrashError:
+                self.breaker.record_failure()
+                raise
+            except SeedTimeoutError:
+                if deadline is not None and deadline.expired:
+                    raise RequestDeadlineError(
+                        f"request deadline of {deadline.seconds}s exceeded "
+                        "while computing"
+                    ) from None
+                raise
+            self.breaker.record_success()
             for seed, result in zip(seeds, results):
                 self._account(seed, result, prefix)
+        finally:
+            self._work_lock.release()
         return results
 
     def _account(self, seed: int, result, prefix: str) -> None:
@@ -239,14 +513,25 @@ class ReproServer:
         if cache_state is not None:
             self.request_metrics.inc(f"serve.cache.{cache_state}")
 
-    def observe_error(self, endpoint: str, status: int) -> None:
+    def observe_error(self, endpoint: str, exc: BaseException) -> int:
+        """Count one failed request; returns the HTTP status to send."""
+        status = getattr(exc, "http_status", 500)
         self.request_metrics.inc(f"serve.{endpoint}.errors")
         self.request_metrics.inc(f"serve.errors.status.{status}")
+        if isinstance(exc, ServerOverloadedError):
+            self.request_metrics.inc("serve.rejected")
+            self.request_metrics.inc(f"serve.{endpoint}.rejected")
+        elif isinstance(exc, RequestDeadlineError):
+            self.request_metrics.inc("serve.deadline_exceeded")
+            self.request_metrics.inc(f"serve.{endpoint}.deadline_exceeded")
+        return status
 
     def metrics_document(self) -> dict:
-        """The ``GET /metrics`` body: request layer + cache + sweep
-        aggregate (``repro-sweep-metrics-v1``), in one document."""
+        """The ``GET /metrics`` body: request layer + cache +
+        robustness + sweep aggregate (``repro-sweep-metrics-v1``), in
+        one document."""
         snapshot = self.request_metrics.snapshot()
+        counters = snapshot.get("counters", {})
         hists = {}
         for name, data in snapshot.get("hists", {}).items():
             hist = Histogram.from_dict(data)
@@ -255,14 +540,30 @@ class ReproServer:
             data["p50"] = hist.quantile(0.5)
             data["p99"] = hist.quantile(0.99)
             hists[name] = data
+        store_counters = self.store.counters()
         return {
             "schema": "repro-serve-metrics-v1",
             "version": __version__,
             "uptime_s": time.monotonic() - self.started,
             "backend": kernels.get_backend(),
-            "requests": dict(sorted(snapshot.get("counters", {}).items())),
+            "requests": dict(sorted(counters.items())),
             "request_latency": hists,
-            "cache": self.store.counters(),
+            "cache": store_counters,
+            "robustness": {
+                "ready": self.ready,
+                "draining": self._draining,
+                "breaker_state": self.breaker.state,
+                "breaker": self.breaker.snapshot(),
+                "inflight": self.admission.inflight,
+                "max_inflight": self.admission.max_inflight,
+                "sweep_weight": self.admission.sweep_weight,
+                "rejected": counters.get("serve.rejected", 0),
+                "deadline_exceeded": counters.get(
+                    "serve.deadline_exceeded", 0
+                ),
+                "coalesced": self.flights.coalesced,
+                "quarantined": store_counters["quarantined"],
+            },
             "sweep": self.aggregator.to_dict(),
         }
 
@@ -270,6 +571,9 @@ class ReproServer:
         return {
             "schema": SERVE_SCHEMA,
             "status": "ok",
+            "ready": self.ready,
+            "draining": self._draining,
+            "breaker": self.breaker.state,
             "version": __version__,
             "backend": kernels.get_backend(),
             "uptime_s": time.monotonic() - self.started,
@@ -309,6 +613,7 @@ class _Handler(BaseHTTPRequestHandler):
         body: str,
         *,
         cache_state: Optional[str] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         data = body.encode("utf-8")
         self.send_response(status)
@@ -317,13 +622,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("X-Repro-Schema", SERVE_SCHEMA)
         if cache_state is not None:
             self.send_header("X-Repro-Cache", cache_state)
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
     def _send_error_json(self, endpoint: str, exc: BaseException) -> None:
-        status = getattr(exc, "http_status", 500)
-        self.server.app.observe_error(endpoint, status)
-        self._send_json(status, protocol.error_body(exc, status=status))
+        status = self.server.app.observe_error(endpoint, exc)
+        extra = None
+        retry_after = getattr(exc, "retry_after_s", None)
+        if retry_after is not None:
+            # The standard shed-and-back-off contract: an integer
+            # Retry-After plus the structured 429 body.
+            extra = {"Retry-After": str(max(1, math.ceil(retry_after)))}
+        self._send_json(
+            status,
+            protocol.error_body(exc, status=status),
+            extra_headers=extra,
+        )
 
     def _write_chunk(self, data: bytes) -> None:
         self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
@@ -343,6 +659,22 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, body)
             app.observe_request("healthz", time.perf_counter() - started, None)
             return
+        if self.path == "/readyz":
+            # Readiness as a status code, for load balancers that only
+            # look there; the JSON carries the reason for humans.
+            ready = app.ready
+            body = json.dumps(
+                {
+                    "schema": SERVE_SCHEMA,
+                    "ready": ready,
+                    "draining": app.draining,
+                    "breaker": app.breaker.state,
+                },
+                sort_keys=True,
+            ) + "\n"
+            self._send_json(200 if ready else 503, body)
+            app.observe_request("readyz", time.perf_counter() - started, None)
+            return
         if self.path == "/metrics":
             body = json.dumps(app.metrics_document(), sort_keys=True) + "\n"
             self._send_json(200, body)
@@ -359,52 +691,93 @@ class _Handler(BaseHTTPRequestHandler):
         app = self.server.app
         started = time.perf_counter()
         if self.path == "/run":
-            try:
-                request = protocol.parse_run_request(
-                    protocol.parse_json_body(
-                        self._read_body(), where="POST /run"
-                    )
-                )
-                use_cache = app.cache_enabled and request.use_cache
-                [(body, cache_state)] = app.resolve(
-                    request.scenario,
-                    [request.seed],
-                    use_cache=use_cache,
-                    prefix="serve.run",
-                )
-            except ReproError as exc:
-                self._send_error_json("run", exc)
-                return
-            except Exception as exc:
-                # The HTTP boundary: anything unanticipated becomes a
-                # structured 500, never a dead connection + traceback.
-                logger.exception("POST /run failed")
-                self._send_error_json(
-                    "run",
-                    ReproError(
-                        f"internal error: {type(exc).__name__}: {exc}"
-                    ),
-                )
-                return
-            # Account *before* the last byte goes out: a client may
-            # read the response and immediately scrape /metrics, and
-            # its own request must already be there.
-            app.observe_request(
-                "run", time.perf_counter() - started, cache_state
+            endpoint = "run"
+        elif self.path == "/sweep":
+            endpoint = "sweep"
+        else:
+            self._send_json(
+                404,
+                protocol.error_body(
+                    ReproError(f"no such endpoint: POST {self.path}"),
+                    status=404,
+                ),
             )
-            self._send_json(200, body, cache_state=cache_state)
             return
-        if self.path == "/sweep":
-            self._handle_sweep(started)
+        # Admission before parsing: shedding must stay cheap, and a
+        # draining daemon must not start new work of any size.
+        weight = app.admission.weight_for(endpoint)
+        try:
+            app.admit(endpoint, weight)
+        except ReproError as exc:
+            self._send_error_json(endpoint, exc)
             return
-        self._send_json(
-            404,
-            protocol.error_body(
-                ReproError(f"no such endpoint: POST {self.path}"), status=404
-            ),
-        )
+        # The slot is released *before* the terminal bytes go out (the
+        # work they describe is already done): a sequential client whose
+        # next request races the handler's epilogue must never be shed
+        # by its own previous request.  Idempotent; the finally is the
+        # backstop for handler crashes.
+        released = [False]
 
-    def _handle_sweep(self, started: float) -> None:
+        def release() -> None:
+            if not released[0]:
+                released[0] = True
+                app.admission.release(weight)
+
+        try:
+            if endpoint == "run":
+                self._handle_run(started, release)
+            else:
+                self._handle_sweep(started, release)
+        finally:
+            release()
+
+    def _handle_run(self, started: float, release) -> None:
+        app = self.server.app
+        try:
+            request = protocol.parse_run_request(
+                protocol.parse_json_body(
+                    self._read_body(), where="POST /run"
+                )
+            )
+            use_cache = app.cache_enabled and request.use_cache
+            deadline = app.deadline_for(request.deadline_s)
+            # The chaos slow-handler fault sleeps *inside* the deadline
+            # window — a slow handler is precisely what deadlines must
+            # bound, so the fault draws from the request's budget.
+            app.chaos_slow("run")
+            deadline.check("in the request handler")
+            body, cache_state = app.resolve_one(
+                request.scenario,
+                request.seed,
+                use_cache=use_cache,
+                deadline=deadline,
+            )
+        except ReproError as exc:
+            release()
+            self._send_error_json("run", exc)
+            return
+        except Exception as exc:
+            # The HTTP boundary: anything unanticipated becomes a
+            # structured 500, never a dead connection + traceback.
+            logger.exception("POST /run failed")
+            release()
+            self._send_error_json(
+                "run",
+                ReproError(
+                    f"internal error: {type(exc).__name__}: {exc}"
+                ),
+            )
+            return
+        # Account *before* the last byte goes out: a client may
+        # read the response and immediately scrape /metrics, and
+        # its own request must already be there.
+        app.observe_request(
+            "run", time.perf_counter() - started, cache_state
+        )
+        release()
+        self._send_json(200, body, cache_state=cache_state)
+
+    def _handle_sweep(self, started: float, release) -> None:
         app = self.server.app
         try:
             request = protocol.parse_sweep_request(
@@ -413,9 +786,20 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             )
         except ReproError as exc:
+            release()
             self._send_error_json("sweep", exc)
             return
         use_cache = app.cache_enabled and request.use_cache
+        deadline = app.deadline_for(request.deadline_s)
+        app.chaos_slow("sweep")
+        try:
+            # Expired before streaming began: a clean structured 504 is
+            # still possible (after the first chunk it no longer is).
+            deadline.check("in the request handler")
+        except ReproError as exc:
+            release()
+            self._send_error_json("sweep", exc)
+            return
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
@@ -426,6 +810,8 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             # Stream block by block, in seed order: progress is live,
             # but the byte stream is a pure function of the request.
+            # The deadline is checked per block — an expired budget
+            # turns into the stream's (structured) last line.
             for i in range(0, len(request.seeds), SWEEP_BLOCK):
                 block = request.seeds[i : i + SWEEP_BLOCK]
                 for body, cache_state in app.resolve(
@@ -433,6 +819,7 @@ class _Handler(BaseHTTPRequestHandler):
                     block,
                     use_cache=use_cache,
                     prefix="serve.sweep",
+                    deadline=deadline,
                 ):
                     verdict = json.loads(body)["result"]["verdict"]
                     verdicts[verdict] = verdicts.get(verdict, 0) + 1
@@ -442,13 +829,15 @@ class _Handler(BaseHTTPRequestHandler):
         except ReproError as exc:
             # Headers are gone; the error becomes the stream's last
             # line, and the chunked coding still terminates cleanly.
-            app.observe_error("sweep", getattr(exc, "http_status", 500))
+            app.observe_error("sweep", exc)
+            release()
             self._write_chunk(protocol.error_body(exc).encode("utf-8"))
             self._end_chunks()
             return
         except Exception as exc:
             logger.exception("POST /sweep failed mid-stream")
-            app.observe_error("sweep", 500)
+            app.observe_error("sweep", exc)
+            release()
             self._write_chunk(
                 protocol.error_body(
                     ReproError(
@@ -466,6 +855,7 @@ class _Handler(BaseHTTPRequestHandler):
         app.observe_request(
             "sweep", time.perf_counter() - started, cache_state
         )
+        release()
         self._write_chunk(
             protocol.sweep_summary_line(
                 request.scenario, request.seeds, verdicts
@@ -483,9 +873,11 @@ def _request(
     method: str,
     path: str,
     payload: Optional[dict] = None,
+    *,
+    timeout: float = 120.0,
 ) -> Tuple[int, dict, bytes]:
     """One HTTP round trip -> (status, headers dict, body bytes)."""
-    conn = HTTPConnection(host, port, timeout=120)
+    conn = HTTPConnection(host, port, timeout=timeout)
     try:
         body = None if payload is None else json.dumps(payload).encode()
         headers = {} if body is None else {"Content-Type": "application/json"}
@@ -502,14 +894,18 @@ def run_selftest(
     store_root: Optional[str] = None,
     *,
     echo=print,
+    request_timeout: float = 120.0,
 ) -> int:
     """End-to-end daemon exercise on an ephemeral port, no state leaks.
 
     Asserts the PR's acceptance properties directly: a repeated
     ``POST /run`` is a cache hit with a byte-identical body, the sweep
     stream repeats byte-identically, the cold/warm latency ratio
-    clears 10x, errors map onto taxonomy HTTP statuses, and ``/metrics``
-    records the hits.  Returns a process exit code.
+    clears 10x, errors map onto taxonomy HTTP statuses (including the
+    429 shed path and the deadline 504), readiness splits from
+    liveness, and ``/metrics`` records the hits.  ``request_timeout``
+    bounds every client round trip so a wedged daemon fails the
+    selftest instead of hanging it.  Returns a process exit code.
     """
     # Heavy enough that the cold run dwarfs HTTP round-trip overhead
     # (the warm path's floor), so the >= 10x ratio check has margin.
@@ -521,7 +917,11 @@ def run_selftest(
         "max_rounds": 5_000,
     }
     server = ReproServer(
-        workers=workers, store_root=store_root, policy=RunPolicy(retries=1)
+        workers=workers,
+        store_root=store_root,
+        policy=RunPolicy(retries=1),
+        max_inflight=4,
+        sweep_weight=8,
     )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -533,26 +933,35 @@ def run_selftest(
         if not condition:
             failures.append(label)
 
+    def request(method, path, payload=None):
+        return _request(
+            host, port, method, path, payload, timeout=request_timeout
+        )
+
     try:
         echo(f"selftest daemon on http://{host}:{port}")
 
-        status, _, body = _request(host, port, "GET", "/healthz")
+        status, _, body = request("GET", "/healthz")
+        document = json.loads(body)
         check(
-            status == 200 and json.loads(body)["status"] == "ok",
+            status == 200 and document["status"] == "ok",
             "GET /healthz",
         )
+        check(document.get("ready") is True, "healthz reports ready")
+        status, _, _ = request("GET", "/readyz")
+        check(status == 200, "GET /readyz is 200 while serving")
 
         t0 = time.perf_counter()
-        status, headers, cold = _request(
-            host, port, "POST", "/run", {"scenario": scenario, "seed": 1}
+        status, headers, cold = request(
+            "POST", "/run", {"scenario": scenario, "seed": 1}
         )
         cold_s = time.perf_counter() - t0
         check(status == 200, "POST /run (cold)")
         check(headers.get("X-Repro-Cache") == "miss", "cold run is a miss")
 
         t0 = time.perf_counter()
-        status, headers, warm = _request(
-            host, port, "POST", "/run", {"scenario": scenario, "seed": 1}
+        status, headers, warm = request(
+            "POST", "/run", {"scenario": scenario, "seed": 1}
         )
         warm_s = time.perf_counter() - t0
         check(status == 200, "POST /run (warm)")
@@ -565,9 +974,7 @@ def run_selftest(
         )
         check(ratio >= 10.0, "cold/warm latency ratio >= 10x")
 
-        status, headers, _ = _request(
-            host,
-            port,
+        status, headers, _ = request(
             "POST",
             "/run",
             {"scenario": scenario, "seed": 1, "cache": False},
@@ -578,25 +985,99 @@ def run_selftest(
         )
 
         sweep = {"scenario": scenario, "seed_start": 0, "seed_count": 4}
-        status, _, first = _request(host, port, "POST", "/sweep", sweep)
+        status, _, first = request("POST", "/sweep", sweep)
         check(
             status == 200 and first.count(b"\n") == 5,
             "POST /sweep streams 4 seeds + summary",
         )
-        status, _, second = _request(host, port, "POST", "/sweep", sweep)
+        status, _, second = request("POST", "/sweep", sweep)
         check(second == first, "repeated sweep is byte-identical")
 
-        status, _, body = _request(
-            host, port, "POST", "/run", {"scenario": {"workload": "nope"}}
+        status, _, body = request(
+            "POST", "/run", {"scenario": {"workload": "nope"}}
         )
         check(
             status == 400 and json.loads(body)["kind"] == "error",
             "malformed scenario -> structured 400",
         )
 
-        status, _, body = _request(host, port, "GET", "/metrics")
+        # A microscopic deadline on a cold seed: the budget is spent
+        # before dispatch, so the taxonomy's 504 comes back (and the
+        # admission slot was freed — the next request succeeds).
+        status, _, body = request(
+            "POST",
+            "/run",
+            {"scenario": scenario, "seed": 91, "deadline_s": 1e-6},
+        )
+        check(
+            status == 504
+            and json.loads(body)["error"] == "RequestDeadlineError",
+            "expired deadline -> structured 504",
+        )
+
+        # Load shedding: a heavy cold sweep (weight 8 > budget 4 —
+        # admitted because the daemon is idle) holds the whole budget;
+        # a /run racing it must see a structured 429 + Retry-After.
+        # Synchronize on the in-flight gauge (GET /metrics bypasses
+        # admission): first wait for the previous request's slot to be
+        # released so the sweep itself is not the one shed, then wait
+        # for the sweep to be admitted before probing.
+        def inflight() -> int:
+            _, _, body = request("GET", "/metrics")
+            return json.loads(body)["robustness"]["inflight"]
+
+        for _ in range(200):
+            if inflight() == 0:
+                break
+            time.sleep(0.005)
+        blocker = {
+            "scenario": scenario,
+            "seed_start": 100,
+            "seed_count": 8,
+        }
+        blocker_result: dict = {}
+
+        def run_blocker():
+            blocker_result["response"] = request("POST", "/sweep", blocker)
+
+        blocker_thread = threading.Thread(target=run_blocker)
+        blocker_thread.start()
+        shed = None
+        try:
+            for _ in range(200):
+                if not blocker_thread.is_alive():
+                    break
+                if inflight() < 8:
+                    time.sleep(0.002)
+                    continue
+                status, headers, body = request(
+                    "POST", "/run", {"scenario": scenario, "seed": 1}
+                )
+                if status == 429:
+                    shed = (status, headers, body)
+                    break
+        finally:
+            blocker_thread.join(timeout=request_timeout)
+        check(shed is not None, "overload -> 429 while a sweep holds the budget")
+        check(
+            blocker_result.get("response", (0,))[0] == 200,
+            "the blocking sweep itself completed",
+        )
+        if shed is not None:
+            status, headers, body = shed
+            check(
+                json.loads(body)["error"] == "ServerOverloadedError",
+                "429 body names ServerOverloadedError",
+            )
+            check(
+                int(headers.get("Retry-After", 0)) >= 1,
+                "429 carries Retry-After",
+            )
+
+        status, _, body = request("GET", "/metrics")
         document = json.loads(body)
         cache = document.get("cache", {})
+        robustness = document.get("robustness", {})
         check(status == 200, "GET /metrics")
         check(
             cache.get("hits", 0) >= 5,
@@ -605,6 +1086,15 @@ def run_selftest(
         check(
             "serve.run.latency_seconds" in document.get("request_latency", {}),
             "per-endpoint latency histogram present",
+        )
+        check(
+            robustness.get("deadline_exceeded", 0) >= 1
+            and (shed is None or robustness.get("rejected", 0) >= 1),
+            "robustness counters recorded the shed + deadline",
+        )
+        check(
+            robustness.get("breaker_state") == "closed",
+            "breaker closed after a healthy run",
         )
     finally:
         server.close()

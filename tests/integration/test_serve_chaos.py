@@ -1,0 +1,193 @@
+"""End-to-end chaos against a live serve daemon.
+
+The serve layer's acceptance properties under injected faults, proved
+over real sockets against a real :class:`~repro.serve.ReproServer`:
+
+* a worker SIGKILLed mid-request yields a *structured* 500 (never a
+  torn body or a dead connection), flips readiness via the circuit
+  breaker, and the next healthy request closes the breaker again;
+* deterministic store read/write faults degrade the cache through its
+  production paths — a failed read is a miss, a failed write leaves the
+  daemon memory-only — while every response stays correct-or-structured
+  and repeated keys stay byte-identical;
+* a sweep whose seed crashes terminates its chunked stream cleanly with
+  a structured last line;
+* after the storm, the on-disk store verifies clean: chaos may starve
+  the disk layer, but it can never corrupt it.
+
+Faults are scheduled by :class:`~repro.resilience.ChaosPolicy` — pure
+functions of ``(seed, key, attempt)`` — so every run of this suite
+injects the identical fault sequence.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.resilience import ChaosPolicy, RunPolicy
+from repro.serve.store import ResultStore
+
+from ..serve.client import serving
+
+SCENARIO = {
+    "workload": "random",
+    "n": 6,
+    "f": 1,
+    "crashes": "random",
+    "max_rounds": 5000,
+}
+
+#: Worker-side chaos: every attempt of seed 7 SIGKILLs its worker.
+KILL_SEED7 = "seed=1,kill=1.0,match=seed7"
+
+
+class TestWorkerKill:
+    def test_kill_mid_request_is_structured_500_then_recovery(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CHAOS", KILL_SEED7)
+        with serving(
+            workers=2,
+            policy=RunPolicy(retries=1),
+            breaker_threshold=1,
+        ) as client:
+            status, _, raw = client.run(SCENARIO, seed=7)
+            body = json.loads(raw)
+            assert status == 500
+            assert body["kind"] == "error"
+            assert body["error"] == "WorkerCrashError"
+
+            # The crash tripped the breaker: alive, not ready.
+            assert client.request("GET", "/readyz")[0] == 503
+            status, _, raw = client.healthz()
+            assert status == 200
+            assert json.loads(raw)["breaker"] == "open"
+
+            # The pool rebuilt; an unkilled seed computes — and that
+            # success is the breaker's proof of recovery.
+            status, _, raw = client.run(SCENARIO, seed=8)
+            assert status == 200
+            assert json.loads(raw)["kind"] == "run"
+            assert client.request("GET", "/readyz")[0] == 200
+            trips = client.metrics()["robustness"]["breaker"]["trips"]
+            assert trips == 1
+
+    def test_sweep_with_killed_seed_terminates_stream_cleanly(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CHAOS", KILL_SEED7)
+        with serving(workers=2, policy=RunPolicy(retries=1)) as client:
+            status, _, raw = client.sweep(
+                SCENARIO, seed_start=4, seed_count=6
+            )
+            # read() returned, so the chunked coding terminated; every
+            # line must parse, and the crash is the structured tail.
+            assert status == 200
+            lines = [json.loads(line) for line in raw.decode().splitlines()]
+            assert lines  # never an empty torn stream
+            assert lines[-1]["kind"] == "error"
+            assert lines[-1]["error"] == "WorkerCrashError"
+            for line in lines[:-1]:
+                assert line["kind"] == "run"
+
+
+class TestStoreFaults:
+    def test_write_faults_degrade_daemon_to_memory_only(self, tmp_path):
+        chaos = ChaosPolicy(seed=1, store_write=1.0)
+        root = str(tmp_path / "store")
+        with serving(store_root=root, chaos=chaos) as client:
+            status, headers, first = client.run(SCENARIO, seed=1)
+            assert status == 200
+            assert headers["X-Repro-Cache"] == "miss"
+            # Memory still serves the entry the disk refused.
+            status, headers, again = client.run(SCENARIO, seed=1)
+            assert status == 200
+            assert headers["X-Repro-Cache"] == "hit"
+            assert again == first
+            cache = client.metrics()["cache"]
+            assert cache["write_errors"] >= 1
+        assert ResultStore(root).disk_stats()["entries"] == 0
+
+    def test_fault_storm_stays_correct_or_structured(self, tmp_path):
+        # Slow handlers + flaky disk reads/writes, all at once, with a
+        # one-entry memory LRU so repeated keys actually hit the faulty
+        # disk path.  Every response must be a valid run body; same-key
+        # responses must be byte-identical regardless of which path
+        # (memory, disk, recompute) produced them.
+        chaos = ChaosPolicy(
+            seed=7,
+            serve_slow=0.3,
+            serve_slow_s=0.01,
+            store_read=0.4,
+            store_write=0.4,
+        )
+        root = str(tmp_path / "store")
+        seeds = [0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2]
+        with serving(
+            store_root=root, memory_entries=1, chaos=chaos
+        ) as client:
+            bodies = {}
+            for seed in seeds:
+                status, _, raw = client.run(SCENARIO, seed=seed)
+                assert status == 200
+                parsed = json.loads(raw)
+                assert parsed["kind"] == "run"
+                assert parsed["seed"] == seed
+                bodies.setdefault(seed, raw)
+                assert raw == bodies[seed]
+            document = client.metrics()
+            cache = document["cache"]
+            # The storm actually exercised the fault paths.
+            assert cache["read_errors"] + cache["write_errors"] >= 1
+            assert document["robustness"]["breaker_state"] == "closed"
+        # Chaos starved the disk layer; it never corrupted it.
+        report = ResultStore(root).verify_disk(repair=False)
+        assert report["corrupt"] == 0
+        assert report["unreadable"] == 0
+
+    def test_concurrent_storm_converges_cache(self, tmp_path):
+        chaos = ChaosPolicy(seed=3, store_write=0.5, store_read=0.5)
+        root = str(tmp_path / "store")
+        with serving(store_root=root, memory_entries=1, chaos=chaos) as client:
+            results = []
+            lock = threading.Lock()
+
+            def fire(seed):
+                response = client.run(SCENARIO, seed=seed)
+                with lock:
+                    results.append((seed, response))
+
+            threads = [
+                threading.Thread(target=fire, args=(seed,))
+                for seed in [0, 1, 0, 1, 0, 1]
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            by_seed = {}
+            for seed, (status, _, raw) in results:
+                assert status == 200
+                by_seed.setdefault(seed, set()).add(raw)
+            # Convergence: one body per key across every interleaving.
+            for seed, distinct in by_seed.items():
+                assert len(distinct) == 1, f"seed {seed} produced {distinct}"
+        report = ResultStore(root).verify_disk(repair=False)
+        assert report["corrupt"] == 0
+
+
+class TestSlowHandlerChaos:
+    def test_slow_handlers_trip_deadlines_not_errors(self):
+        # Every handler sleeps 200ms; a 50ms deadline must 504 — and
+        # the taxonomy mapping must hold under chaos, not just in the
+        # happy path.
+        chaos = ChaosPolicy(seed=1, serve_slow=1.0, serve_slow_s=0.2)
+        with serving(chaos=chaos) as client:
+            status, _, raw = client.run(SCENARIO, seed=1, deadline_s=0.05)
+            assert status == 504
+            assert json.loads(raw)["error"] == "RequestDeadlineError"
+            # Without the deadline the same request just takes longer.
+            status, _, raw = client.run(SCENARIO, seed=1)
+            assert status == 200
+            assert json.loads(raw)["kind"] == "run"

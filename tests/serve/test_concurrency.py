@@ -1,0 +1,147 @@
+"""Store races under real concurrency: exactly-once computation.
+
+``N`` threads fire identical and distinct ``POST /run``\\ s through real
+sockets at once.  The properties under test are the cache's soundness
+guarantees, which must hold for *every* interleaving:
+
+* one computation per content address (duplicates coalesce or hit);
+* every response body for one key is byte-identical;
+* the request/cache counters add up — nothing double-counted, nothing
+  lost.
+"""
+
+import json
+import threading
+
+from .client import serving
+
+SCENARIO = {
+    "workload": "random",
+    "n": 6,
+    "f": 1,
+    "crashes": "random",
+    "max_rounds": 5000,
+}
+
+
+def fire_concurrently(client, payloads):
+    """POST /run for every payload at once (barrier start); -> results."""
+    results = [None] * len(payloads)
+    barrier = threading.Barrier(len(payloads))
+
+    def worker(index, payload):
+        barrier.wait()
+        results[index] = client.request("POST", "/run", payload)
+
+    threads = [
+        threading.Thread(target=worker, args=(i, p))
+        for i, p in enumerate(payloads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results
+
+
+class TestIdenticalRequests:
+    def test_duplicates_compute_exactly_once(self, tmp_path):
+        n_clients = 8
+        with serving(store_root=str(tmp_path / "store")) as client:
+            payload = {"scenario": SCENARIO, "seed": 42}
+            results = fire_concurrently(client, [payload] * n_clients)
+
+            bodies = set()
+            states = []
+            for status, headers, raw in results:
+                assert status == 200
+                bodies.add(raw)
+                states.append(headers["X-Repro-Cache"])
+            # Byte-identical bodies, whichever path each request took.
+            assert len(bodies) == 1
+            assert json.loads(bodies.pop())["seed"] == 42
+
+            # Exactly-once: one store fill for one content address,
+            # however many requests raced for it.
+            store = client.server.store
+            assert store.stores == 1
+            assert len(store) == 1
+
+            # Every request is accounted for exactly once: the leader
+            # is the miss, every other is a hit (arrived after the fill)
+            # or coalesced (arrived during the computation).
+            document = client.metrics()
+            requests = document["requests"]
+            assert requests["serve.run.requests"] == n_clients
+            assert requests.get("serve.cache.miss", 0) == 1
+            accounted = (
+                requests.get("serve.cache.miss", 0)
+                + requests.get("serve.cache.hit", 0)
+                + requests.get("serve.cache.coalesced", 0)
+            )
+            assert accounted == n_clients
+            assert document["robustness"]["coalesced"] == requests.get(
+                "serve.cache.coalesced", 0
+            )
+            assert states.count("miss") == 1
+
+    def test_coalesced_followers_wait_for_leader(self, tmp_path):
+        # Serialize the simulation behind a request already holding the
+        # work lock: followers for the same key must then overlap the
+        # leader and coalesce (not recompute) once it releases.
+        with serving(store_root=str(tmp_path / "store")) as client:
+            release = threading.Event()
+            client.server._work_lock.acquire()
+            holder = threading.Thread(
+                target=lambda: (
+                    release.wait(10),
+                    client.server._work_lock.release(),
+                )
+            )
+            holder.start()
+            try:
+                payload = {"scenario": SCENARIO, "seed": 7}
+                results_box = {}
+
+                def racers():
+                    results_box["r"] = fire_concurrently(
+                        client, [payload] * 4
+                    )
+
+                thread = threading.Thread(target=racers)
+                thread.start()
+                # All four requests are now parked (one on the work
+                # lock, three on the flight); let them go.
+                deadline_t = threading.Event()
+                deadline_t.wait(0.2)
+                release.set()
+                thread.join(timeout=30)
+            finally:
+                release.set()
+                holder.join(timeout=10)
+            results = results_box["r"]
+            assert [status for status, _, _ in results] == [200] * 4
+            assert len({raw for _, _, raw in results}) == 1
+            assert client.server.store.stores == 1
+            assert client.server.flights.coalesced >= 1
+
+
+class TestDistinctRequests:
+    def test_distinct_seeds_all_compute_once(self, tmp_path):
+        seeds = list(range(10))
+        with serving(store_root=str(tmp_path / "store")) as client:
+            payloads = [{"scenario": SCENARIO, "seed": s} for s in seeds]
+            results = fire_concurrently(client, payloads)
+            for seed, (status, _, raw) in zip(seeds, results):
+                assert status == 200
+                assert json.loads(raw)["seed"] == seed
+            store = client.server.store
+            assert store.stores == len(seeds)
+            assert len(store) == len(seeds)
+
+            # Replaying the same batch is all hits, byte-identical.
+            replay = fire_concurrently(client, payloads)
+            assert [r[2] for r in replay] == [r[2] for r in results]
+            assert store.stores == len(seeds)  # nothing recomputed
+            hits = client.metrics()["requests"]["serve.cache.hit"]
+            assert hits >= len(seeds)
