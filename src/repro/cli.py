@@ -44,12 +44,16 @@ Three subcommands:
 
 ``stats``
     Summarize a trace JSON or an observability JSONL event stream as
-    tables: per-class round counts, crash/move totals, spread trajectory.
+    tables: per-class round counts, crash/move totals, spread
+    trajectory.  A ``repro-log-v1`` structured log gets per-level and
+    per-event record counts plus the warn-once keys that fired.
 
 ``trace-export``
     Convert a ``repro-spans-v1`` span stream — or, on a synthetic
     timeline, an obs event stream or trace archive — to Chrome
-    trace-event JSON that Perfetto / ``chrome://tracing`` open directly.
+    trace-event JSON that Perfetto / ``chrome://tracing`` open
+    directly.  Multiple inputs merge onto one timeline, each on its
+    own track group.
 
 ``profile``
     Run one scenario with the observability layer on and print the
@@ -65,7 +69,7 @@ import json
 import os
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .algorithms import ALGORITHMS
 from .core import (
@@ -429,6 +433,14 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SEC",
                        help="seconds an open breaker waits before "
                             "half-opening (default 10)")
+    serve.add_argument("--access-log", metavar="PATH", default=None,
+                       help="append structured repro-log-v1 JSONL "
+                            "records (access log + warnings) to PATH")
+    serve.add_argument("--trace-jsonl", metavar="PATH", default=None,
+                       help="record per-request span trees (request, "
+                            "admission, cache, worker spans joined by "
+                            "request id) to a repro-spans-v1 file; "
+                            "convert with 'repro trace-export'")
     serve.add_argument("--selftest", action="store_true",
                        help="start a daemon on an ephemeral port, "
                             "exercise every endpoint (cache hits, "
@@ -474,18 +486,23 @@ def build_parser() -> argparse.ArgumentParser:
             "is accepted too: their rounds have no recorded wall time, "
             "so they are laid out on a synthetic timeline (one fixed "
             "slot per round) that still shows class transitions, "
-            "crashes and movement at a glance."
+            "crashes and movement at a glance.  Multiple inputs merge "
+            "into one timeline, each on its own track group — e.g. a "
+            "serve daemon's request spans next to a worker's run spans, "
+            "joined by the request id in the span args."
         ),
     )
-    export.add_argument("input",
+    export.add_argument("inputs", nargs="+", metavar="INPUT",
                         help="repro-spans-v1 JSONL, repro-obs-v1 JSONL, or "
-                             "repro-trace-v2 trace JSON")
+                             "repro-trace-v2 trace JSON (repeatable; "
+                             "merged onto one timeline)")
     export.add_argument("--output", "-o", metavar="PATH", default=None,
-                        help="output path (default: INPUT with a "
+                        help="output path (default: first INPUT with a "
                              ".perfetto.json suffix)")
     export.add_argument("--pid", type=int, default=0,
-                        help="process id label for the exported track "
-                             "group (default 0)")
+                        help="process id label of the first input's "
+                             "track group; later inputs count up from "
+                             "it (default 0)")
 
     stats = sub.add_parser(
         "stats",
@@ -1086,6 +1103,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_window=args.breaker_window,
         breaker_cooldown=args.breaker_cooldown,
+        access_log=args.access_log,
+        trace_jsonl=args.trace_jsonl,
     )
     # serve_forever runs on a worker thread so the main thread stays
     # free to receive signals: calling httpd.shutdown() from a signal
@@ -1117,6 +1136,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     if args.request_deadline is not None:
         print(f"  deadline : {args.request_deadline}s per request", flush=True)
+    if args.access_log:
+        print(f"  accesslog: {args.access_log}", flush=True)
+    if args.trace_jsonl:
+        print(f"  spans    : {args.trace_jsonl}", flush=True)
     try:
         stop.wait()
     finally:
@@ -1175,8 +1198,65 @@ def _cmd_serve_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_log_stats(path: str, meta: dict, records: List[dict]) -> int:
+    """``repro stats`` on a ``repro-log-v1`` file: level/event counts
+    and the warn-once keys that fired."""
+    from .obs import summarize_log
+
+    summary = summarize_log(records)
+    print(f"{path}: structured log, {len(records)} records")
+    if meta:
+        source = meta.get("source")
+        if source:
+            print(f"meta       : source={source} "
+                  f"version={meta.get('version')}")
+    print()
+    levels = Table(
+        "log-levels", "records per level", ["level", "records"]
+    )
+    for name in ("debug", "info", "warning", "error"):
+        if name in summary["levels"]:
+            levels.add_row(name, summary["levels"][name])
+    for name in sorted(summary["levels"]):
+        if name not in ("debug", "info", "warning", "error"):
+            levels.add_row(name, summary["levels"][name])
+    print(levels.render())
+    print()
+    events_table = Table(
+        "log-events", "records per event", ["event", "records"]
+    )
+    ranked = sorted(
+        summary["events"].items(), key=lambda kv: (-kv[1], kv[0])
+    )
+    for name, count in ranked:
+        events_table.add_row(name, count)
+    print(events_table.render())
+    if summary["warn_once"]:
+        print()
+        warn_table = Table(
+            "log-warn-once",
+            "warn-once keys that fired",
+            ["key", "records"],
+        )
+        for name, count in sorted(
+            summary["warn_once"].items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            warn_table.add_row(name, count)
+        print(warn_table.render())
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
-    from .obs import RoundEvent, read_events, read_spans
+    from .obs import RoundEvent, read_events, read_log, read_spans
+
+    # A repro-log-v1 structured log gets its own summary (levels,
+    # events, warn-once keys) — it carries no round events.
+    try:
+        log_meta, log_records = read_log(args.input)
+    except (ValueError, OSError):
+        pass
+    else:
+        return _cmd_log_stats(args.input, log_meta, log_records)
 
     # An obs JSONL stream identifies itself by its header line; anything
     # else must parse as a trace archive, whose records the same events
@@ -1308,72 +1388,88 @@ def _synthetic_round_events(rows: List[dict], pid: int, label: str) -> List[dict
     return events
 
 
-def _cmd_trace_export(args: argparse.Namespace) -> int:
-    from .obs import chrome_trace_events, read_events, read_spans
-    from .resilience import atomic_write
+def _export_one_input(path: str, pid: int) -> Tuple[List[dict], str]:
+    """One trace-export input -> (Chrome trace events, description).
 
-    output = args.output or (
-        os.path.splitext(args.input)[0] + ".perfetto.json"
-    )
+    A spans file keeps its recorded wall-clock timeline; an obs event
+    stream or trace archive gets the synthetic per-round layout.  The
+    ``pid`` labels this input's track group, so multiple inputs merged
+    into one file stay visually separate in Perfetto.
+    """
+    from .obs import chrome_trace_events, read_events, read_spans
 
     try:
-        meta, spans = read_spans(args.input)
+        meta, spans = read_spans(path)
     except TraceFormatError:
         raise
     except ValueError:
         spans = None
 
     if spans is not None:
-        label = None
-        scenario = (meta or {}).get("scenario") or {}
+        label = os.path.basename(path)
+        meta_block = meta or {}
+        scenario = meta_block.get("scenario") or {}
         if scenario:
             label = (
                 f"{scenario.get('workload', '?')} n={scenario.get('n', '?')} "
-                f"seed={(meta or {}).get('seed')}"
+                f"seed={meta_block.get('seed')}"
             )
-        events = chrome_trace_events(spans, pid=args.pid, process_name=label)
-        kind = f"span stream ({len(spans)} spans)"
-    else:
-        # Not a spans file: an obs event stream or a trace archive, both
-        # exported on the synthetic per-round timeline.
-        try:
-            _, round_events, _ = read_events(args.input)
-            rows = [
-                {
-                    "round": e.round_index,
-                    "config_class": e.config_class,
-                    "moved": len(e.moved),
-                    "crashed": len(e.crashed),
-                    "support": e.support,
-                    "spread": e.spread,
-                }
-                for e in round_events
-            ]
-            kind = f"obs event stream ({len(rows)} rounds)"
-        except TraceFormatError:
-            raise
-        except ValueError:
-            from .sim.replay import load_trace
+        elif meta_block.get("source"):
+            label = str(meta_block["source"])
+        events = chrome_trace_events(spans, pid=pid, process_name=label)
+        return events, f"span stream ({len(spans)} spans)"
 
-            trace = load_trace(args.input)
-            rows = [
-                {
-                    "round": record.round_index,
-                    "config_class": record.config_class.value,
-                    "moved": len(record.moved),
-                    "crashed": len(record.crashed_now),
-                    "active": len(record.active),
-                }
-                for record in trace.records
-            ]
-            kind = f"trace archive ({len(rows)} rounds)"
-        events = _synthetic_round_events(
-            rows, args.pid, os.path.basename(args.input)
-        )
+    # Not a spans file: an obs event stream or a trace archive, both
+    # exported on the synthetic per-round timeline.
+    try:
+        _, round_events, _ = read_events(path)
+        rows = [
+            {
+                "round": e.round_index,
+                "config_class": e.config_class,
+                "moved": len(e.moved),
+                "crashed": len(e.crashed),
+                "support": e.support,
+                "spread": e.spread,
+            }
+            for e in round_events
+        ]
+        kind = f"obs event stream ({len(rows)} rounds)"
+    except TraceFormatError:
+        raise
+    except ValueError:
+        from .sim.replay import load_trace
+
+        trace = load_trace(path)
+        rows = [
+            {
+                "round": record.round_index,
+                "config_class": record.config_class.value,
+                "moved": len(record.moved),
+                "crashed": len(record.crashed_now),
+                "active": len(record.active),
+            }
+            for record in trace.records
+        ]
+        kind = f"trace archive ({len(rows)} rounds)"
+    return _synthetic_round_events(rows, pid, os.path.basename(path)), kind
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from .resilience import atomic_write
+
+    output = args.output or (
+        os.path.splitext(args.inputs[0])[0] + ".perfetto.json"
+    )
+
+    events: List[dict] = []
+    for i, path in enumerate(args.inputs):
+        input_events, kind = _export_one_input(path, args.pid + i)
+        events.extend(input_events)
+        print(f"{path}: {kind}")
 
     document = {"traceEvents": events, "displayTimeUnit": "ms"}
     atomic_write(output, json.dumps(document) + "\n")
-    print(f"{args.input}: {kind}")
     print(f"wrote {len(events)} trace events -> {output}")
     print("open in https://ui.perfetto.dev or chrome://tracing")
     return 0

@@ -86,6 +86,15 @@ from .hooks import (
     on_run_end,
     remove_hook,
 )
+from .log import (
+    LOG_SCHEMA,
+    LogJsonlSink,
+    StructuredLogger,
+    get_logger,
+    read_log,
+    summarize_log,
+)
+from .log import hub as log_hub
 from .metrics import Metrics, metrics
 from .sink import Collector, JsonlSink, read_events
 from .spans import (
@@ -102,6 +111,13 @@ __all__ = [
     "OBS_SCHEMA",
     "SPANS_SCHEMA",
     "SWEEP_METRICS_SCHEMA",
+    "LOG_SCHEMA",
+    "StructuredLogger",
+    "LogJsonlSink",
+    "get_logger",
+    "log_hub",
+    "read_log",
+    "summarize_log",
     "Aggregator",
     "SweepDashboard",
     "write_sweep_metrics",

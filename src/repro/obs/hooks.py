@@ -19,21 +19,22 @@ a registered hook on a disabled process never fires and costs nothing.
 
 A hook that raises is **quarantined**, not propagated: instrumentation
 is derived state, so a broken profiling callback must never crash the
-simulation mid-round.  The first failure of a hook emits one
-:class:`RuntimeWarning` naming the hook and the exception, and the hook
-is removed from every hook point — it will not fire (or warn) again.
-The warning keeps the failure *visible* (a silently corrupted profiling
-session would be worse than a crash); the removal keeps one bad hook
-from warning once per round for the rest of a long sweep.
-``KeyboardInterrupt`` and other ``BaseException``s still propagate.
+simulation mid-round.  The first failure of a hook emits one structured
+``hook.quarantined`` warning (:mod:`repro.obs.log`) naming the hook and
+the exception, and the hook is removed from every hook point — it will
+not fire (or warn) again.  The warning keeps the failure *visible* (a
+silently corrupted profiling session would be worse than a crash); the
+removal keeps one bad hook from warning once per round for the rest of
+a long sweep.  ``KeyboardInterrupt`` and other ``BaseException``s still
+propagate.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable, List
 
 from .events import RoundEvent
+from .log import get_logger
 
 __all__ = [
     "on_round",
@@ -92,6 +93,8 @@ def clear_hooks() -> None:
 #: the same callable is re-registered at several hook points).
 _quarantined: set = set()
 
+_log = get_logger("repro.obs.hooks")
+
 
 def _dispatch(hooks: List[Callable], hook_point: str, *args) -> None:
     """Call every hook, quarantining any that raises.
@@ -105,11 +108,13 @@ def _dispatch(hooks: List[Callable], hook_point: str, *args) -> None:
         except Exception as exc:
             if id(fn) not in _quarantined:
                 _quarantined.add(id(fn))
-                warnings.warn(
+                _log.warning(
+                    "hook.quarantined",
                     f"{hook_point} hook {fn!r} raised "
                     f"{type(exc).__name__}: {exc}; removing it",
-                    RuntimeWarning,
-                    stacklevel=3,
+                    hook_point=hook_point,
+                    hook=repr(fn),
+                    error=f"{type(exc).__name__}: {exc}",
                 )
             remove_hook(fn)
 

@@ -1,0 +1,322 @@
+"""Structured, process-wide JSONL logging (``repro-log-v1``).
+
+The repo's other observability streams — events, spans, metrics — are
+machine-first: schema-versioned JSONL with a header line, readable by the
+same CLI that wrote them.  Operational logging historically was not: a
+handful of ad-hoc ``logging.warning(... "(warning once)")`` and
+``warnings.warn`` sites scattered across the pool, the hook dispatcher,
+and the result store, none of which land anywhere a tool can read.  This
+module gives those sites one structured hub:
+
+* **leveled records** — ``debug/info/warning/error``, each a JSON dict
+  with ``ts`` (wall clock), ``level``, ``logger``, ``event`` (a stable
+  machine key like ``store.write_error``), ``msg`` (human text), and
+  free-form ``fields``;
+* **warn-once dedup** — :meth:`StructuredLogger.warn_once` emits the
+  first record for a key and counts the rest, replacing the scattered
+  module-level ``_warned`` sets;
+* **rate limiting** — per ``(logger, event)`` token budget per interval;
+  suppressed records are counted and surface as one ``log.suppressed``
+  notice when the window rolls, so a hot failure path cannot flood disk;
+* **quarantining sinks** — a sink that raises is disabled after one
+  structured complaint, same contract as span/event sinks.
+
+Records always mirror to the stdlib :mod:`logging` tree (logger name =
+record's ``logger``), so existing handlers, ``caplog``, and operator
+habits keep working; attached JSONL sinks additionally get the dict.
+
+The module is intentionally **stdlib-only with no intra-repo imports**:
+``repro.obs`` imports from ``repro.resilience``, and the pool needs to
+log — keeping this leaf module dependency-free lets every layer use it
+(the pool imports it lazily to stay clear of the package cycle).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import threading
+import time
+from typing import Callable, Dict, List, Optional, TextIO, Tuple
+
+__all__ = [
+    "LOG_SCHEMA",
+    "LEVELS",
+    "LogHub",
+    "StructuredLogger",
+    "LogJsonlSink",
+    "get_logger",
+    "hub",
+    "read_log",
+]
+
+LOG_SCHEMA = "repro-log-v1"
+
+#: Level names in severity order; records carry the name, not a number.
+LEVELS = ("debug", "info", "warning", "error")
+
+_STDLIB_LEVEL = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+#: Default rate limit: at most this many records per (logger, event) key
+#: per interval; the first overflow in a window is announced once.
+RATE_LIMIT_BURST = 50
+RATE_LIMIT_INTERVAL_S = 60.0
+
+
+class LogHub:
+    """Process-wide fan-out point for structured log records.
+
+    One instance (:data:`hub`) serves the whole process.  It owns the
+    sink list, the warn-once registry, and the rate limiter; loggers
+    obtained via :func:`get_logger` are thin named fronts over it.
+    Thread-safe: serve handlers log from concurrent threads.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sinks: List[Callable[[dict], None]] = []
+        self._quarantined: set = set()
+        self._warned: Dict[str, int] = {}
+        self._windows: Dict[Tuple[str, str], Tuple[float, int]] = {}
+        self.rate_burst = RATE_LIMIT_BURST
+        self.rate_interval_s = RATE_LIMIT_INTERVAL_S
+        self.mirror_stdlib = True
+        #: Events never rate-limited.  The limiter protects against hot
+        #: *failure* paths flooding disk; per-request records like an
+        #: access log are complete by contract, so their emitters opt
+        #: out here (survives :meth:`reset`, like the rate knobs).
+        self.rate_exempt: set = set()
+
+    # -- wiring --------------------------------------------------------------
+
+    def add_sink(self, sink: Callable[[dict], None]) -> None:
+        with self._lock:
+            self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[dict], None]) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+            self._quarantined.discard(id(sink))
+
+    def reset(self) -> None:
+        """Drop sinks, warn-once memory, and rate windows (tests)."""
+        with self._lock:
+            self._sinks.clear()
+            self._quarantined.clear()
+            self._warned.clear()
+            self._windows.clear()
+
+    def warned_keys(self) -> Dict[str, int]:
+        """Copy of the warn-once registry: key → times seen."""
+        with self._lock:
+            return dict(self._warned)
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, logger: str, level: str, event: str, msg: str, fields: dict) -> None:
+        """Build, rate-limit, mirror, and fan out one record."""
+        now = time.time()
+        suppressed_notice = None
+        if event not in self.rate_exempt:
+            with self._lock:
+                key = (logger, event)
+                start, count = self._windows.get(key, (now, 0))
+                if now - start >= self.rate_interval_s:
+                    if count > self.rate_burst:
+                        suppressed_notice = (key, count - self.rate_burst, start)
+                    start, count = now, 0
+                count += 1
+                self._windows[key] = (start, count)
+                if count > self.rate_burst:
+                    return
+        if suppressed_notice is not None:
+            (s_logger, s_event), dropped, since = suppressed_notice
+            self._fan_out(
+                {
+                    "ts": now,
+                    "level": "warning",
+                    "logger": s_logger,
+                    "event": "log.suppressed",
+                    "msg": f"rate limit: suppressed {dropped} {s_event!r} records",
+                    "fields": {
+                        "suppressed_event": s_event,
+                        "dropped": dropped,
+                        "window_s": round(now - since, 3),
+                    },
+                }
+            )
+        record = {
+            "ts": now,
+            "level": level,
+            "logger": logger,
+            "event": event,
+            "msg": msg,
+        }
+        if fields:
+            record["fields"] = fields
+        self._fan_out(record)
+
+    def warn_once(self, logger: str, key: str, event: str, msg: str, fields: dict) -> bool:
+        """Emit a warning for ``key`` the first time only; count repeats.
+
+        Returns True when the record was emitted (first sighting).
+        """
+        with self._lock:
+            seen = self._warned.get(key, 0)
+            self._warned[key] = seen + 1
+            if seen:
+                return False
+        merged = dict(fields)
+        merged["warn_once_key"] = key
+        self.emit(logger, "warning", event, msg + " (warning once)", merged)
+        return True
+
+    def _fan_out(self, record: dict) -> None:
+        if self.mirror_stdlib:
+            logging.getLogger(record["logger"]).log(
+                _STDLIB_LEVEL.get(record["level"], logging.INFO),
+                "%s: %s",
+                record["event"],
+                record["msg"],
+            )
+        with self._lock:
+            sinks = list(self._sinks)
+        for sink in sinks:
+            if id(sink) in self._quarantined:
+                continue
+            try:
+                sink(record)
+            except Exception as exc:  # noqa: BLE001 - sink bugs must not kill callers
+                with self._lock:
+                    self._quarantined.add(id(sink))
+                logging.getLogger("repro.obs.log").warning(
+                    "log sink %r raised %s: %s; quarantining it", sink, type(exc).__name__, exc
+                )
+
+
+#: The process-wide hub all structured loggers emit through.
+hub = LogHub()
+
+
+class StructuredLogger:
+    """Named front over the hub; create via :func:`get_logger`."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def debug(self, event: str, msg: str, **fields) -> None:
+        hub.emit(self.name, "debug", event, msg, fields)
+
+    def info(self, event: str, msg: str, **fields) -> None:
+        hub.emit(self.name, "info", event, msg, fields)
+
+    def warning(self, event: str, msg: str, **fields) -> None:
+        hub.emit(self.name, "warning", event, msg, fields)
+
+    def error(self, event: str, msg: str, **fields) -> None:
+        hub.emit(self.name, "error", event, msg, fields)
+
+    def warn_once(self, key: str, event: str, msg: str, **fields) -> bool:
+        """Warn for ``key`` exactly once per process; count repeats."""
+        return hub.warn_once(self.name, key, event, msg, fields)
+
+
+_loggers: Dict[str, StructuredLogger] = {}
+_loggers_lock = threading.Lock()
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """Return the process-wide structured logger called ``name``."""
+    with _loggers_lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = _loggers[name] = StructuredLogger(name)
+        return logger
+
+
+class LogJsonlSink:
+    """Append records to a ``repro-log-v1`` JSONL file, line-buffered.
+
+    Unlike the span/event sinks (which write ``.partial`` then promote on
+    close — right for run artifacts), a log file must be *tailable while
+    the process runs*: the header and every record are flushed as they
+    are written, straight to the final path.
+    """
+
+    def __init__(self, path, meta: Optional[dict] = None) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle: TextIO = io.open(path, "w", encoding="utf-8")
+        header = {"format": LOG_SCHEMA, "meta": dict(meta or {})}
+        self._handle.write(json.dumps(header, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def __call__(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+
+def read_log(path) -> Tuple[dict, List[dict]]:
+    """Read a ``repro-log-v1`` file → ``(meta, records)``.
+
+    Mirrors :func:`repro.obs.spans.read_spans`.  Raises ``ValueError``
+    on a missing or foreign header so callers can fall through to other
+    readers; tolerates a truncated trailing line (the process may have
+    died mid-write — logs are flushed per line, not atomically).
+    """
+    with io.open(path, "r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line.strip():
+            raise ValueError(f"{path}: empty file, expected {LOG_SCHEMA} header")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not a {LOG_SCHEMA} file: {exc}") from exc
+        if not isinstance(header, dict) or header.get("format") != LOG_SCHEMA:
+            raise ValueError(f"{path}: header format is not {LOG_SCHEMA!r}")
+        records: List[dict] = []
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                break  # truncated tail: keep what parsed
+    return header.get("meta", {}), records
+
+
+def summarize_log(records: List[dict]) -> dict:
+    """Aggregate counts the ``repro stats`` CLI prints for a log file."""
+    by_level: Dict[str, int] = {}
+    by_event: Dict[str, int] = {}
+    warn_once: Dict[str, int] = {}
+    for record in records:
+        level = record.get("level", "?")
+        by_level[level] = by_level.get(level, 0) + 1
+        event = record.get("event", "?")
+        by_event[event] = by_event.get(event, 0) + 1
+        fields = record.get("fields") or {}
+        key = fields.get("warn_once_key")
+        if key:
+            warn_once[key] = warn_once.get(key, 0) + 1
+    return {"levels": by_level, "events": by_event, "warn_once": warn_once}

@@ -40,11 +40,11 @@ from __future__ import annotations
 import json
 import os
 import time
-import warnings
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, TextIO, Tuple
 
 from ..resilience import TraceFormatError, fsync_handle, promote
+from .log import get_logger
 
 __all__ = [
     "SPANS_SCHEMA",
@@ -161,6 +161,28 @@ class Tracer:
         self._emit(span)
         return span
 
+    def next_id(self) -> int:
+        """Allocate a span id without opening a span.
+
+        Used when grafting externally-recorded spans (a worker's span
+        tail shipped home in a result payload) onto this tracer's tree:
+        the grafted spans need ids that cannot collide with locally
+        recorded ones.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def adopt(self, span: Span) -> Span:
+        """Emit an externally-constructed, already-finished span.
+
+        The span must carry ids from :meth:`next_id`; it gets a
+        completion number and flows to the tail and sinks like any
+        locally recorded span.
+        """
+        self._emit(span)
+        return span
+
     def _emit(self, span: Span) -> None:
         self.seq += 1
         span.seq = self.seq
@@ -174,11 +196,12 @@ class Tracer:
                 # simulation down with it.
                 if id(sink) not in self._warned_sinks:
                     self._warned_sinks.add(id(sink))
-                    warnings.warn(
+                    get_logger("repro.obs.spans").warning(
+                        "span_sink.quarantined",
                         f"span sink {sink!r} raised "
                         f"{type(exc).__name__}: {exc}; removing it",
-                        RuntimeWarning,
-                        stacklevel=3,
+                        sink=repr(sink),
+                        error=f"{type(exc).__name__}: {exc}",
                     )
                 self.remove_sink(sink)
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 import logging
 import math
 import time
+import traceback
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -55,11 +56,27 @@ logger = logging.getLogger("repro.resilience")
 _warned: set = set()
 
 
-def _warn_once(key: str, message: str, *args, **kwargs) -> None:
+def _warn_once(key: str, event: str, message: str, *args, **fields) -> None:
+    """Emit one structured warning per ``key`` per process.
+
+    Routes through :mod:`repro.obs.log` (imported lazily: ``repro.obs``
+    itself imports from this package, so a module-level import would
+    cycle).  The structured record mirrors to the stdlib
+    ``repro.resilience`` logger, preserving the pre-existing log lines.
+    """
     if key in _warned:
         return
     _warned.add(key)
-    logger.warning(message + " (warning once)", *args, **kwargs)
+    if fields.pop("exc_info", False):
+        fields["traceback"] = traceback.format_exc()
+    from ..obs.log import get_logger
+
+    get_logger(logger.name).warning(
+        event,
+        (message % args if args else message) + " (warning once)",
+        warn_once_key=key,
+        **fields,
+    )
 
 
 def _as_charged_exception(exc: BaseException, key: str) -> Exception:
@@ -77,9 +94,11 @@ def _as_charged_exception(exc: BaseException, key: str) -> Exception:
         return exc
     _warn_once(
         f"base-exception:{type(exc).__name__}",
+        "pool.worker_base_exception",
         "worker for %r raised %s; treating as a worker crash",
         key,
         type(exc).__name__,
+        exception=type(exc).__name__,
     )
     return WorkerCrashError(
         f"{key}: worker raised {type(exc).__name__}: {exc}"
@@ -169,6 +188,7 @@ class _MapState:
             except Exception:
                 _warn_once(
                     "on_failure-observer",
+                    "pool.on_failure_observer_raised",
                     "on_failure observer raised; ignoring",
                     exc_info=True,
                 )

@@ -1,0 +1,185 @@
+"""Prometheus text exposition of the daemon's metrics document.
+
+``GET /metrics`` speaks two formats from one source of truth: the
+``repro-serve-metrics-v1`` JSON document (the default, unchanged) and
+— when the client's ``Accept`` header asks for ``text/plain`` or
+``application/openmetrics-text`` — the Prometheus text exposition
+format (version 0.0.4) rendered here.  The exposition is generated
+*from* the JSON document, never recorded separately, so the two views
+cannot drift: every number a scraper sees is the number the JSON
+carries.
+
+Mapping rules:
+
+* dotted counter names become underscored ``repro_*`` counters with a
+  ``_total`` suffix — ``serve.run.requests`` →
+  ``repro_serve_run_requests_total``;
+* cache counters are exposed as ``repro_serve_cache_<name>_total``;
+* latency histograms become cumulative-bucket Prometheus histograms
+  with **bit-identical bounds**: the ``le`` labels are the exact
+  :mod:`repro.obs.histogram` log-spaced boundaries (``repr``-formatted,
+  which round-trips floats), bucket values are the cumulative sums of
+  the stored per-bucket counts (underflow folds into the first bucket,
+  overflow into ``+Inf``), and ``_sum`` / ``_count`` are the stored
+  total and count;
+* the robustness block surfaces as gauges (``repro_serve_ready``,
+  ``repro_serve_inflight``, …) plus a one-hot
+  ``repro_serve_breaker_state{state="..."}``.
+
+Output is deterministically ordered (sorted within each family block)
+so the exposition is golden-testable byte for byte.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+__all__ = ["CONTENT_TYPE", "wants_prometheus", "exposition"]
+
+#: Content type of the rendered exposition (Prometheus text format).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_CLEAN = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(dotted: str, suffix: str = "") -> str:
+    return "repro_" + _NAME_CLEAN.sub("_", dotted) + suffix
+
+
+def wants_prometheus(accept: str) -> bool:
+    """Does this ``Accept`` header ask for the text exposition?
+
+    JSON stays the default: only an explicit ``text/plain`` or
+    ``application/openmetrics-text`` media type switches formats —
+    ``*/*``, an absent header, or ``application/json`` all keep the
+    ``repro-serve-metrics-v1`` document.
+    """
+    for part in (accept or "").split(","):
+        media = part.split(";", 1)[0].strip().lower()
+        if media in ("text/plain", "application/openmetrics-text"):
+            return True
+    return False
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _counter(lines: List[str], name: str, value, help_text: str) -> None:
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} counter")
+    lines.append(f"{name} {_format_value(value)}")
+
+
+def _gauge(lines: List[str], name: str, value, help_text: str) -> None:
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} gauge")
+    lines.append(f"{name} {_format_value(value)}")
+
+
+def _histogram(lines: List[str], name: str, data: dict, help_text: str) -> None:
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} histogram")
+    bounds = data["bounds"]
+    counts = data["counts"]
+    cumulative = 0
+    for i, bound in enumerate(bounds):
+        cumulative += counts[i]
+        lines.append(f'{name}_bucket{{le="{bound!r}"}} {cumulative}')
+    lines.append(f'{name}_bucket{{le="+Inf"}} {data["count"]}')
+    lines.append(f"{name}_sum {_format_value(data['total'])}")
+    lines.append(f"{name}_count {data['count']}")
+
+
+def exposition(document: dict) -> str:
+    """Render a ``repro-serve-metrics-v1`` document as Prometheus text."""
+    lines: List[str] = []
+    for dotted in sorted(document.get("requests", {})):
+        _counter(
+            lines,
+            _metric_name(dotted, "_total"),
+            document["requests"][dotted],
+            f"Serve counter {dotted}",
+        )
+    for dotted in sorted(document.get("request_latency", {})):
+        _histogram(
+            lines,
+            _metric_name(dotted),
+            document["request_latency"][dotted],
+            f"Serve latency histogram {dotted} (seconds)",
+        )
+    cache = document.get("cache", {})
+    for name in sorted(cache):
+        value = cache[name]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue  # e.g. the disk-root path; not a sample
+        if name in ("memory_entries", "memory_limit"):
+            _gauge(
+                lines,
+                _metric_name(f"serve.cache.store.{name}"),
+                value,
+                f"Result store gauge {name}",
+            )
+        else:
+            _counter(
+                lines,
+                _metric_name(f"serve.cache.store.{name}", "_total"),
+                value,
+                f"Result store counter {name}",
+            )
+    robustness = document.get("robustness", {})
+    _gauge(
+        lines,
+        "repro_serve_ready",
+        robustness.get("ready", False),
+        "1 while the daemon should receive traffic",
+    )
+    _gauge(
+        lines,
+        "repro_serve_draining",
+        robustness.get("draining", False),
+        "1 while the daemon is draining for shutdown",
+    )
+    _gauge(
+        lines,
+        "repro_serve_inflight",
+        robustness.get("inflight", 0),
+        "Admitted in-flight work (weighted units)",
+    )
+    max_inflight = robustness.get("max_inflight")
+    if max_inflight is not None:
+        _gauge(
+            lines,
+            "repro_serve_max_inflight",
+            max_inflight,
+            "In-flight admission budget (weighted units)",
+        )
+    _gauge(
+        lines,
+        "repro_serve_coalesced_total",
+        robustness.get("coalesced", 0),
+        "Requests served by another request's computation",
+    )
+    breaker = robustness.get("breaker_state", "closed")
+    lines.append(
+        "# HELP repro_serve_breaker_state "
+        "One-hot circuit breaker state"
+    )
+    lines.append("# TYPE repro_serve_breaker_state gauge")
+    for state in ("closed", "half_open", "open"):
+        flag = 1 if breaker == state else 0
+        lines.append(
+            f'repro_serve_breaker_state{{state="{state}"}} {flag}'
+        )
+    _gauge(
+        lines,
+        "repro_serve_uptime_seconds",
+        document.get("uptime_s", 0.0),
+        "Daemon uptime in seconds",
+    )
+    return "\n".join(lines) + "\n"

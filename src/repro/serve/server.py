@@ -68,7 +68,10 @@ from ..experiments.runner import Scenario, run_scenario, executor
 from ..geometry import kernels
 from ..obs.aggregate import Aggregator, namespace_delta
 from ..obs.histogram import Histogram
+from ..obs.log import LogJsonlSink, get_logger
+from ..obs.log import hub as log_hub
 from ..obs.metrics import Metrics
+from ..obs.spans import SpanJsonlSink
 from ..resilience import (
     ChaosPolicy,
     ReproError,
@@ -86,8 +89,16 @@ from .admission import (
     Deadline,
     SingleFlight,
 )
+from .prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from .prometheus import exposition, wants_prometheus
 from .protocol import SERVE_SCHEMA
 from .store import ResultStore, result_key
+from .tracing import (
+    REQUEST_ID_HEADER,
+    LockedSpanWriter,
+    RequestTrace,
+    clean_request_id,
+)
 
 __all__ = ["ReproServer", "run_selftest"]
 
@@ -144,6 +155,8 @@ class ReproServer:
         breaker_window: float = 30.0,
         breaker_cooldown: float = 10.0,
         chaos: Optional[ChaosPolicy] = None,
+        access_log: Optional[str] = None,
+        trace_jsonl: Optional[str] = None,
     ) -> None:
         self.policy = policy or RunPolicy()
         if chaos is None:
@@ -184,6 +197,32 @@ class ReproServer:
         # Per-seed obs payloads (what /metrics aggregates) only exist
         # while the obs layer is on; the daemon is its natural owner.
         _obs.enable()
+        #: Structured access logger; every request emits one
+        #: ``http.access`` record through it (and any registered log
+        #: sinks), carrying the request id end to end.
+        self.access_logger = get_logger("repro.serve.access")
+        # An access log is complete by contract — one record per
+        # request, never rate-limited (the hub's limiter is for hot
+        # failure paths; ``http.line``/``http.error`` stay capped).
+        log_hub.rate_exempt.add("http.access")
+        self._access_sink: Optional[LogJsonlSink] = None
+        if access_log:
+            self._access_sink = LogJsonlSink(
+                access_log,
+                meta={"source": "repro-serve", "version": __version__},
+            )
+            log_hub.add_sink(self._access_sink)
+        #: Per-request span trees stream here (one repro-spans-v1 file
+        #: shared by all handler threads); ``None`` disables request
+        #: tracing entirely — no span objects are built.
+        self._trace_writer: Optional[LockedSpanWriter] = None
+        if trace_jsonl:
+            self._trace_writer = LockedSpanWriter(
+                SpanJsonlSink(
+                    trace_jsonl,
+                    meta={"source": "repro-serve", "version": __version__},
+                )
+            )
         self.started = time.monotonic()
         self._serving = threading.Event()
         self.httpd = _Server((host, port), _Handler)
@@ -246,6 +285,31 @@ class ReproServer:
         if self._pool_cm is not None:
             self._pool_cm.__exit__(None, None, None)
             self._pool_cm = self._pool = None
+        if self._trace_writer is not None:
+            # Promotes <path>.partial to its final name: the spans file
+            # becomes whole exactly when the daemon finishes draining.
+            self._trace_writer.close()
+            self._trace_writer = None
+        if self._access_sink is not None:
+            log_hub.remove_sink(self._access_sink)
+            self._access_sink.close()
+            self._access_sink = None
+
+    # -- request tracing ---------------------------------------------------
+
+    def start_trace(
+        self, request_id: str, route: str, method: str
+    ) -> Optional[RequestTrace]:
+        """Open a per-request span tree, or ``None`` when tracing is
+        off (no ``--trace-jsonl`` sink, or ``REPRO_SPANS`` vetoed).
+
+        The ``None`` path is the zero-overhead guard: every tracing
+        call site on the request path checks it with one comparison and
+        builds nothing.
+        """
+        if self._trace_writer is None or not _obs.tracer.active:
+            return None
+        return RequestTrace(request_id, route, method, self._trace_writer)
 
     # -- admission / chaos -------------------------------------------------
 
@@ -284,6 +348,7 @@ class ReproServer:
         use_cache: bool,
         deadline: Deadline,
         prefix: str = "serve.run",
+        trace: Optional[RequestTrace] = None,
     ) -> Tuple[str, str]:
         """The ``POST /run`` path: cache, then single-flight, then
         compute.
@@ -303,14 +368,25 @@ class ReproServer:
             code_version=__version__,
         )
         if not use_cache:
-            body = self._compute_one(scenario, seed, key, deadline, prefix)
+            body = self._compute_one(
+                scenario, seed, key, deadline, prefix, trace=trace
+            )
             return body, "bypass"
+        lookup = None if trace is None else trace.begin("cache_lookup")
         body = self.store.get(key)
+        if lookup is not None:
+            trace.end(lookup, hit=body is not None)
         if body is not None:
             return body, "hit"
+        flight_span = None if trace is None else trace.begin("singleflight")
         leader, flight = self.flights.lead_or_follow(key)
         if not leader:
-            return SingleFlight.wait(flight, deadline), "coalesced"
+            try:
+                body = SingleFlight.wait(flight, deadline)
+            finally:
+                if flight_span is not None:
+                    trace.end(flight_span, role="follower")
+            return body, "coalesced"
         try:
             # Re-check under leadership: another leader (or daemon
             # sharing the disk layer) may have landed the entry between
@@ -319,7 +395,7 @@ class ReproServer:
             state = "hit"
             if body is None:
                 body = self._compute_one(
-                    scenario, seed, key, deadline, prefix
+                    scenario, seed, key, deadline, prefix, trace=trace
                 )
                 self.store.put(key, body)
                 state = "miss"
@@ -328,8 +404,12 @@ class ReproServer:
             # same pure function would fail the same way, and N copies
             # of one error must not become N computations.
             self.flights.finish(key, flight, error=exc)
+            if flight_span is not None:
+                trace.end(flight_span, role="leader", error=True)
             raise
         self.flights.finish(key, flight, body=body)
+        if flight_span is not None:
+            trace.end(flight_span, role="leader")
         return body, state
 
     def resolve(
@@ -340,6 +420,7 @@ class ReproServer:
         use_cache: bool,
         prefix: str,
         deadline: Optional[Deadline] = None,
+        trace: Optional[RequestTrace] = None,
     ) -> List[Tuple[str, str]]:
         """``(body, cache_state)`` per seed, in seed order.
 
@@ -364,6 +445,9 @@ class ReproServer:
         resolved: dict = {}
         todo: List[int] = []
         todo_keys: List[str] = []
+        lookup = None
+        if trace is not None and use_cache:
+            lookup = trace.begin("cache_lookup", {"seeds": len(seeds)})
         for seed, key in zip(seeds, keys):
             body = self.store.get(key) if use_cache else None
             if body is not None:
@@ -371,9 +455,11 @@ class ReproServer:
             else:
                 todo.append(seed)
                 todo_keys.append(key)
+        if lookup is not None:
+            trace.end(lookup, hits=len(seeds) - len(todo))
         if todo:
             results = self._execute(
-                scenario, todo, prefix=prefix, deadline=deadline
+                scenario, todo, prefix=prefix, deadline=deadline, trace=trace
             )
             state = "miss" if use_cache else "bypass"
             for seed, key, result in zip(todo, todo_keys, results):
@@ -397,9 +483,10 @@ class ReproServer:
         key: str,
         deadline: Deadline,
         prefix: str,
+        trace: Optional[RequestTrace] = None,
     ) -> str:
         [result] = self._execute(
-            scenario, [seed], prefix=prefix, deadline=deadline
+            scenario, [seed], prefix=prefix, deadline=deadline, trace=trace
         )
         return protocol.run_body(
             key,
@@ -437,6 +524,7 @@ class ReproServer:
         *,
         prefix: str,
         deadline: Optional[Deadline] = None,
+        trace: Optional[RequestTrace] = None,
     ) -> List:
         """Run the missing seeds through the warm pool (or serially,
         still under the retry machinery) and fold their obs payloads
@@ -446,45 +534,67 @@ class ReproServer:
         simulation slot draws from the same budget as computing, so a
         request stuck behind a slow one 504s instead of queueing
         unboundedly.  Worker-crash outcomes feed the circuit breaker.
+
+        With tracing on, the whole dispatch (slot wait + pool run) is
+        one ``worker_run`` span, and each result's span tail — the
+        worker-side run/round/phase/kernel hierarchy shipped home in
+        the obs payload — is grafted under it, stamped with the request
+        id, so the server and worker timelines join in one trace.
         """
         from ..experiments.runner import parallel_map
 
         label = scenario.label()
-        remaining = None if deadline is None else deadline.remaining()
-        acquired = self._work_lock.acquire(
-            timeout=-1 if remaining is None else remaining
-        )
-        if not acquired:
-            raise RequestDeadlineError(
-                f"request deadline of {deadline.seconds}s exceeded while "
-                "queued for the simulation slot"
+        worker_span = None
+        if trace is not None:
+            worker_span = trace.begin(
+                "worker_run", {"seeds": len(seeds), "scenario": label}
             )
         try:
-            if deadline is not None:
-                deadline.check("while queued for the simulation slot")
-            try:
-                results = parallel_map(
-                    partial(run_scenario, scenario),
-                    list(seeds),
-                    pool=self._pool,
-                    policy=self._deadline_policy(deadline),
-                    keys=[f"{label}#seed{seed}" for seed in seeds],
+            remaining = None if deadline is None else deadline.remaining()
+            acquired = self._work_lock.acquire(
+                timeout=-1 if remaining is None else remaining
+            )
+            if not acquired:
+                raise RequestDeadlineError(
+                    f"request deadline of {deadline.seconds}s exceeded while "
+                    "queued for the simulation slot"
                 )
-            except WorkerCrashError:
-                self.breaker.record_failure()
-                raise
-            except SeedTimeoutError:
-                if deadline is not None and deadline.expired:
-                    raise RequestDeadlineError(
-                        f"request deadline of {deadline.seconds}s exceeded "
-                        "while computing"
-                    ) from None
-                raise
-            self.breaker.record_success()
-            for seed, result in zip(seeds, results):
-                self._account(seed, result, prefix)
-        finally:
-            self._work_lock.release()
+            try:
+                if deadline is not None:
+                    deadline.check("while queued for the simulation slot")
+                try:
+                    results = parallel_map(
+                        partial(run_scenario, scenario),
+                        list(seeds),
+                        pool=self._pool,
+                        policy=self._deadline_policy(deadline),
+                        keys=[f"{label}#seed{seed}" for seed in seeds],
+                    )
+                except WorkerCrashError:
+                    self.breaker.record_failure()
+                    raise
+                except SeedTimeoutError:
+                    if deadline is not None and deadline.expired:
+                        raise RequestDeadlineError(
+                            f"request deadline of {deadline.seconds}s "
+                            "exceeded while computing"
+                        ) from None
+                    raise
+                self.breaker.record_success()
+                for seed, result in zip(seeds, results):
+                    self._account(seed, result, prefix)
+            finally:
+                self._work_lock.release()
+        except BaseException:
+            if worker_span is not None:
+                trace.end(worker_span, error=True)
+            raise
+        if worker_span is not None:
+            trace.end(worker_span)
+            for result in results:
+                trace.attach_worker_spans(
+                    getattr(result, "obs", None), worker_span
+                )
         return results
 
     def _account(self, seed: int, result, prefix: str) -> None:
@@ -581,15 +691,103 @@ class ReproServer:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Per-connection handler; all state lives on ``self.server.app``."""
+    """Per-connection handler; all state lives on ``self.server.app``.
+
+    Every request carries an id (``X-Repro-Request-Id``: propagated
+    when the client supplies one, generated otherwise), echoed in the
+    response headers and stamped into one structured ``http.access``
+    record per request — request id, route, status, cache state,
+    admission outcome, and duration.  ``BaseHTTPRequestHandler``'s own
+    log lines are not dropped: malformed requests that never reach a
+    ``do_*`` method surface as structured ``http.error`` /
+    ``http.access`` records through the same logger.
+    """
 
     server_version = f"repro-serve/{__version__}"
     # HTTP/1.1 for chunked sweep streams and keep-alive clients.
     protocol_version = "HTTP/1.1"
 
+    # Per-request bookkeeping; class-level defaults cover the stdlib
+    # code paths (malformed request lines) that fire before any do_*
+    # method initializes them.
+    _in_request = False
+    _rid: Optional[str] = None
+    _route: Optional[str] = None
+    _status: Optional[int] = None
+    _cache_state: Optional[str] = None
+    _admission: Optional[str] = None
+    _trace: Optional[RequestTrace] = None
+    _t0: float = 0.0
+
+    # -- structured access log ---------------------------------------------
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        # Access logs belong to the logging tree, not stderr.
-        logger.debug("%s %s", self.address_string(), format % args)
+        # The stdlib catch-all; anything not covered by log_request /
+        # log_error below still lands in the structured stream.
+        self.server.app.access_logger.debug(
+            "http.line",
+            format % args,
+            remote=self.address_string(),
+        )
+
+    def log_error(self, format: str, *args) -> None:  # noqa: A002
+        # send_error()'s explanation line — including requests so
+        # malformed they never reach a handler (bad request line,
+        # unsupported HTTP version).
+        self.server.app.access_logger.warning(
+            "http.error",
+            format % args,
+            remote=self.address_string(),
+        )
+
+    def log_request(self, code="-", size="-") -> None:
+        # Inside a handled request the rich access record from
+        # _finish_access supersedes this line; outside one (send_error
+        # before dispatch) it is the only trace the request leaves.
+        if self._in_request:
+            return
+        self.server.app.access_logger.info(
+            "http.access",
+            f"{getattr(self, 'requestline', '-')} -> {code}",
+            status=int(code) if str(code).isdigit() else None,
+            request=getattr(self, "requestline", None),
+            remote=self.address_string(),
+        )
+
+    def _begin_access(self, route: str) -> None:
+        self._in_request = True
+        self._t0 = time.perf_counter()
+        self._rid = clean_request_id(self.headers.get(REQUEST_ID_HEADER))
+        self._route = route
+        self._status = None
+        self._cache_state = None
+        self._admission = None
+        self._trace = None
+
+    def _finish_access(self) -> None:
+        app = self.server.app
+        elapsed = time.perf_counter() - self._t0
+        if self._trace is not None:
+            self._trace.finish(self._status or 0, self._cache_state)
+            self._trace = None
+        app.access_logger.info(
+            "http.access",
+            f"{self.command} {self.path} -> {self._status}",
+            request_id=self._rid,
+            method=self.command,
+            route=self._route,
+            path=self.path,
+            status=self._status,
+            cache=self._cache_state,
+            admission=self._admission,
+            duration_s=round(elapsed, 6),
+            remote=self.address_string(),
+        )
+        self._in_request = False
+
+    def send_response(self, code, message=None) -> None:
+        self._status = code
+        super().send_response(code, message)
 
     # -- plumbing ----------------------------------------------------------
 
@@ -614,13 +812,17 @@ class _Handler(BaseHTTPRequestHandler):
         *,
         cache_state: Optional[str] = None,
         extra_headers: Optional[Dict[str, str]] = None,
+        content_type: str = "application/json",
     ) -> None:
         data = body.encode("utf-8")
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.send_header("X-Repro-Schema", SERVE_SCHEMA)
+        if self._rid is not None:
+            self.send_header(REQUEST_ID_HEADER, self._rid)
         if cache_state is not None:
+            self._cache_state = cache_state
             self.send_header("X-Repro-Cache", cache_state)
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
@@ -652,8 +854,15 @@ class _Handler(BaseHTTPRequestHandler):
     # -- endpoints ---------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._begin_access(self.path.lstrip("/") or "/")
+        try:
+            self._do_get()
+        finally:
+            self._finish_access()
+
+    def _do_get(self) -> None:
         app = self.server.app
-        started = time.perf_counter()
+        started = self._t0
         if self.path == "/healthz":
             body = json.dumps(app.healthz_document(), sort_keys=True) + "\n"
             self._send_json(200, body)
@@ -676,8 +885,19 @@ class _Handler(BaseHTTPRequestHandler):
             app.observe_request("readyz", time.perf_counter() - started, None)
             return
         if self.path == "/metrics":
-            body = json.dumps(app.metrics_document(), sort_keys=True) + "\n"
-            self._send_json(200, body)
+            # Content negotiation: the JSON document is the default;
+            # an Accept asking for text/plain (or openmetrics) gets the
+            # Prometheus exposition rendered *from* that same document.
+            document = app.metrics_document()
+            if wants_prometheus(self.headers.get("Accept", "")):
+                self._send_json(
+                    200,
+                    exposition(document),
+                    content_type=PROMETHEUS_CONTENT_TYPE,
+                )
+            else:
+                body = json.dumps(document, sort_keys=True) + "\n"
+                self._send_json(200, body)
             app.observe_request("metrics", time.perf_counter() - started, None)
             return
         self._send_json(
@@ -689,28 +909,53 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         app = self.server.app
-        started = time.perf_counter()
         if self.path == "/run":
             endpoint = "run"
         elif self.path == "/sweep":
             endpoint = "sweep"
         else:
-            self._send_json(
-                404,
-                protocol.error_body(
-                    ReproError(f"no such endpoint: POST {self.path}"),
-                    status=404,
-                ),
-            )
+            self._begin_access(self.path.lstrip("/") or "/")
+            try:
+                self._send_json(
+                    404,
+                    protocol.error_body(
+                        ReproError(f"no such endpoint: POST {self.path}"),
+                        status=404,
+                    ),
+                )
+            finally:
+                self._finish_access()
             return
+        self._begin_access(endpoint)
+        try:
+            self._do_post(endpoint)
+        finally:
+            self._finish_access()
+
+    def _do_post(self, endpoint: str) -> None:
+        app = self.server.app
+        self._trace = app.start_trace(self._rid, endpoint, "POST")
         # Admission before parsing: shedding must stay cheap, and a
         # draining daemon must not start new work of any size.
         weight = app.admission.weight_for(endpoint)
+        wait_span = None
+        if self._trace is not None:
+            wait_span = self._trace.begin(
+                "admission_wait", {"weight": weight}
+            )
         try:
             app.admit(endpoint, weight)
         except ReproError as exc:
+            self._admission = (
+                "draining" if isinstance(exc, ServerDrainingError) else "shed"
+            )
+            if wait_span is not None:
+                self._trace.end(wait_span, outcome=self._admission)
             self._send_error_json(endpoint, exc)
             return
+        self._admission = "admitted"
+        if wait_span is not None:
+            self._trace.end(wait_span, outcome="admitted")
         # The slot is released *before* the terminal bytes go out (the
         # work they describe is already done): a sequential client whose
         # next request races the handler's epilogue must never be shed
@@ -725,9 +970,9 @@ class _Handler(BaseHTTPRequestHandler):
 
         try:
             if endpoint == "run":
-                self._handle_run(started, release)
+                self._handle_run(self._t0, release)
             else:
-                self._handle_sweep(started, release)
+                self._handle_sweep(self._t0, release)
         finally:
             release()
 
@@ -751,6 +996,7 @@ class _Handler(BaseHTTPRequestHandler):
                 request.seed,
                 use_cache=use_cache,
                 deadline=deadline,
+                trace=self._trace,
             )
         except ReproError as exc:
             release()
@@ -804,6 +1050,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
         self.send_header("X-Repro-Schema", SERVE_SCHEMA)
+        if self._rid is not None:
+            self.send_header(REQUEST_ID_HEADER, self._rid)
         self.end_headers()
         verdicts: dict = {}
         hits = misses = 0
@@ -820,6 +1068,7 @@ class _Handler(BaseHTTPRequestHandler):
                     use_cache=use_cache,
                     prefix="serve.sweep",
                     deadline=deadline,
+                    trace=self._trace,
                 ):
                     verdict = json.loads(body)["result"]["verdict"]
                     verdicts[verdict] = verdicts.get(verdict, 0) + 1
@@ -850,6 +1099,7 @@ class _Handler(BaseHTTPRequestHandler):
         cache_state = None
         if use_cache:
             cache_state = "hit" if misses == 0 else "miss"
+        self._cache_state = cache_state
         # Account before the terminating chunk: once the client's read
         # completes, this request is visible in /metrics.
         app.observe_request(
@@ -875,13 +1125,16 @@ def _request(
     payload: Optional[dict] = None,
     *,
     timeout: float = 120.0,
+    headers: Optional[Dict[str, str]] = None,
 ) -> Tuple[int, dict, bytes]:
     """One HTTP round trip -> (status, headers dict, body bytes)."""
     conn = HTTPConnection(host, port, timeout=timeout)
     try:
         body = None if payload is None else json.dumps(payload).encode()
-        headers = {} if body is None else {"Content-Type": "application/json"}
-        conn.request(method, path, body=body, headers=headers)
+        send_headers = dict(headers or {})
+        if body is not None:
+            send_headers.setdefault("Content-Type", "application/json")
+        conn.request(method, path, body=body, headers=send_headers)
         response = conn.getresponse()
         data = response.read()
         return response.status, dict(response.getheaders()), data
@@ -933,9 +1186,15 @@ def run_selftest(
         if not condition:
             failures.append(label)
 
-    def request(method, path, payload=None):
+    def request(method, path, payload=None, headers=None):
         return _request(
-            host, port, method, path, payload, timeout=request_timeout
+            host,
+            port,
+            method,
+            path,
+            payload,
+            timeout=request_timeout,
+            headers=headers,
         )
 
     try:
@@ -959,13 +1218,25 @@ def run_selftest(
         check(status == 200, "POST /run (cold)")
         check(headers.get("X-Repro-Cache") == "miss", "cold run is a miss")
 
+        check(
+            bool(headers.get("X-Repro-Request-Id")),
+            "server generates a request id when the client sends none",
+        )
+
         t0 = time.perf_counter()
         status, headers, warm = request(
-            "POST", "/run", {"scenario": scenario, "seed": 1}
+            "POST",
+            "/run",
+            {"scenario": scenario, "seed": 1},
+            headers={"X-Repro-Request-Id": "selftest-warm-run-1"},
         )
         warm_s = time.perf_counter() - t0
         check(status == 200, "POST /run (warm)")
         check(headers.get("X-Repro-Cache") == "hit", "warm run is a hit")
+        check(
+            headers.get("X-Repro-Request-Id") == "selftest-warm-run-1",
+            "client-supplied request id is echoed verbatim",
+        )
         check(warm == cold, "warm body is byte-identical to cold")
         ratio = cold_s / warm_s if warm_s > 0 else float("inf")
         echo(
@@ -1095,6 +1366,38 @@ def run_selftest(
         check(
             robustness.get("breaker_state") == "closed",
             "breaker closed after a healthy run",
+        )
+
+        # Prometheus exposition: same endpoint, negotiated via Accept.
+        status, headers, text = request(
+            "GET", "/metrics", headers={"Accept": "text/plain"}
+        )
+        check(
+            status == 200
+            and headers.get("Content-Type", "").startswith("text/plain"),
+            "GET /metrics negotiates the Prometheus exposition",
+        )
+        scraped = text.decode("utf-8")
+        samples = 0
+        parse_ok = True
+        for line in scraped.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            try:
+                name_part, value_part = line.rsplit(" ", 1)
+                float(value_part)
+                samples += 1
+            except ValueError:
+                parse_ok = False
+                break
+        check(
+            parse_ok and samples > 0,
+            f"Prometheus scrape parses ({samples} samples)",
+        )
+        check(
+            "repro_serve_run_requests_total" in scraped
+            and "repro_serve_run_latency_seconds_bucket" in scraped,
+            "exposition carries run counters and latency buckets",
         )
     finally:
         server.close()

@@ -56,12 +56,14 @@ import threading
 from collections import OrderedDict
 from typing import Dict, Optional
 
+from ..obs.log import get_logger
 from ..resilience import ChaosPolicy, atomic_write
 from ..sim.trace import scenario_hash
 
 __all__ = ["ResultStore", "result_key", "STORE_SCHEMA"]
 
 logger = logging.getLogger("repro.serve.store")
+slog = get_logger("repro.serve.store")
 
 #: Schema of the on-disk entry envelope (header line + verbatim body).
 STORE_SCHEMA = "repro-store/1"
@@ -275,12 +277,14 @@ class ResultStore:
                     warn = not self._warned_write
                     self._warned_write = True
                 if warn:
-                    logger.warning(
-                        "result store disk write failed (%s: %s); "
-                        "serving from memory only (warning once; disk "
-                        "writes keep being attempted)",
-                        type(exc).__name__,
-                        exc,
+                    slog.warning(
+                        "store.write_error",
+                        f"result store disk write failed "
+                        f"({type(exc).__name__}: {exc}); serving from "
+                        f"memory only (warning once; disk writes keep "
+                        f"being attempted)",
+                        warn_once_key="store.write_error",
+                        error=f"{type(exc).__name__}: {exc}",
                     )
 
     def _quarantine(self, key: str) -> None:
@@ -299,10 +303,12 @@ class ResultStore:
                 os.unlink(self._path(key))
             except OSError:
                 pass
-        logger.warning(
-            "quarantined corrupt result store entry %s (digest mismatch "
-            "or truncated envelope); it will be recomputed on demand",
-            key,
+        slog.warning(
+            "store.entry_quarantined",
+            f"quarantined corrupt result store entry {key} (digest "
+            f"mismatch or truncated envelope); it will be recomputed "
+            f"on demand",
+            key=key,
         )
 
     def _remember(self, key: str, body: str) -> None:

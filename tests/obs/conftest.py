@@ -17,8 +17,10 @@ def pristine_obs():
     obs.clear_hooks()
     obs.metrics.reset()
     obs.tracer.reset()
+    obs.log_hub.reset()
     yield
     obs.disable()
     obs.clear_hooks()
     obs.metrics.reset()
     obs.tracer.reset()
+    obs.log_hub.reset()

@@ -137,6 +137,79 @@ class TestTraceExport:
         assert "undecodable span line" in capsys.readouterr().err
 
 
+class TestTraceExportMerge:
+    def _spans_file(self, tmp_path, name, seed):
+        path = str(tmp_path / name)
+        main([
+            "simulate", "--workload", "asymmetric", "--n", "6",
+            "--seed", str(seed), "--spans-jsonl", path,
+        ])
+        return path
+
+    def test_multiple_inputs_merge_with_distinct_pids(self, tmp_path,
+                                                      capsys):
+        first = self._spans_file(tmp_path, "a.spans.jsonl", 1)
+        second = self._spans_file(tmp_path, "b.spans.jsonl", 2)
+        out_path = str(tmp_path / "merged.json")
+        code = main(["trace-export", first, second, "-o", out_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("span stream") == 2
+        document = _assert_chrome_shape(out_path)
+        pids = {e["pid"] for e in document["traceEvents"]}
+        assert pids == {0, 1}
+
+    def test_pid_flag_offsets_every_track_group(self, tmp_path):
+        first = self._spans_file(tmp_path, "a.spans.jsonl", 1)
+        second = self._spans_file(tmp_path, "b.spans.jsonl", 2)
+        out_path = str(tmp_path / "merged.json")
+        assert main([
+            "trace-export", first, second, "--pid", "10", "-o", out_path,
+        ]) == 0
+        document = _assert_chrome_shape(out_path)
+        assert {e["pid"] for e in document["traceEvents"]} == {10, 11}
+
+
+class TestStatsOnLogFiles:
+    def _log_file(self, tmp_path):
+        from repro.obs.log import LogJsonlSink, get_logger, hub
+
+        path = str(tmp_path / "daemon.log.jsonl")
+        sink = LogJsonlSink(path, meta={"source": "unit-test"})
+        hub.add_sink(sink)
+        try:
+            log = get_logger("repro.unit")
+            log.info("http.access", "request", status=200)
+            log.info("http.access", "request", status=200)
+            log.warn_once("pool.broken", "pool.worker_lost", "gone")
+        finally:
+            hub.remove_sink(sink)
+            sink.close()
+        return path
+
+    def test_log_file_gets_level_event_tables(self, tmp_path, capsys):
+        path = self._log_file(tmp_path)
+        code = main(["stats", path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "structured log, 3 records" in out
+        assert "source=unit-test" in out
+        assert "http.access" in out
+        assert "pool.worker_lost" in out
+        # The warn-once table names the key that fired.
+        assert "pool.broken" in out
+
+    def test_round_event_paths_still_work(self, tmp_path, capsys):
+        # The log reader must not swallow the existing stats inputs.
+        events_path = str(tmp_path / "run.obs.jsonl")
+        main([
+            "simulate", "--workload", "asymmetric", "--n", "6",
+            "--seed", "1", "--obs-jsonl", events_path,
+        ])
+        assert main(["stats", events_path]) == 0
+        assert "obs event stream" in capsys.readouterr().out
+
+
 class TestStatsEdgeCases:
     def test_spans_file_gets_redirected_in_one_line(self, tmp_path, capsys):
         spans_path = str(tmp_path / "run.spans.jsonl")

@@ -11,27 +11,44 @@ def _boom(*args):
     raise RuntimeError("hook exploded")
 
 
+@pytest.fixture()
+def log_records():
+    records = []
+    obs.log_hub.add_sink(records.append)
+    yield records
+    obs.log_hub.remove_sink(records.append)
+
+
+def _quarantine_records(records):
+    return [r for r in records if r["event"] == "hook.quarantined"]
+
+
 class TestQuarantine:
-    def test_raising_hook_warned_once_and_removed(self):
+    def test_raising_hook_warned_once_and_removed(self, log_records):
         seen = []
         obs.on_round(_boom)
         obs.on_round(seen.append)
-        with pytest.warns(RuntimeWarning, match="hook exploded"):
-            emit_round("first")
+        emit_round("first")
+        complaints = _quarantine_records(log_records)
+        assert len(complaints) == 1
+        assert "hook exploded" in complaints[0]["msg"]
+        assert complaints[0]["level"] == "warning"
         # The offender is gone; later rounds dispatch warning-free and
         # the healthy hook keeps firing.
         emit_round("second")
+        assert len(_quarantine_records(log_records)) == 1
         assert seen == ["first", "second"]
 
-    def test_quarantine_covers_every_hook_point(self):
+    def test_quarantine_covers_every_hook_point(self, log_records):
         obs.on_round(_boom)
         obs.on_kernel(_boom)
         obs.on_run_end(_boom)
-        with pytest.warns(RuntimeWarning):
-            emit_round("event")
+        emit_round("event")
+        assert len(_quarantine_records(log_records)) == 1
         # Already-quarantined at the other points too: no second warning.
         emit_kernel("k", 0.1, "python")
         emit_run_end({})
+        assert len(_quarantine_records(log_records)) == 1
 
     def test_base_exceptions_still_propagate(self):
         def interrupt(event):
@@ -41,7 +58,7 @@ class TestQuarantine:
         with pytest.raises(KeyboardInterrupt):
             emit_round("event")
 
-    def test_broken_hook_does_not_break_a_simulation(self):
+    def test_broken_hook_does_not_break_a_simulation(self, log_records):
         scenario = Scenario(
             workload="asymmetric",
             n=6,
@@ -55,8 +72,10 @@ class TestQuarantine:
         seen = []
         obs.on_round(_boom)
         obs.on_round(lambda event: seen.append(event.round_index))
-        with pytest.warns(RuntimeWarning, match="hook exploded"):
-            result = run_scenario(scenario, 3)
+        result = run_scenario(scenario, 3)
+        complaints = _quarantine_records(log_records)
+        assert len(complaints) == 1
+        assert "hook exploded" in complaints[0]["msg"]
         assert result.rounds > 0
         # Every round after the quarantine still reached the good hook.
         assert len(seen) == result.rounds

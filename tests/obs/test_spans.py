@@ -68,19 +68,34 @@ class TestTracer:
         assert [s.name for s in tracer.tail()] == ["s6", "s7", "s8", "s9"]
 
     def test_broken_sink_warned_once_and_removed(self):
-        tracer = Tracer()
-        seen = []
+        from repro import obs
 
-        def broken(span):
-            raise RuntimeError("boom")
+        records = []
+        obs.log_hub.add_sink(records.append)
+        try:
+            tracer = Tracer()
+            seen = []
 
-        tracer.add_sink(broken)
-        tracer.add_sink(seen.append)
-        with pytest.warns(RuntimeWarning, match="boom"):
+            def broken(span):
+                raise RuntimeError("boom")
+
+            tracer.add_sink(broken)
+            tracer.add_sink(seen.append)
             tracer.end(tracer.begin("a", "phase"))
-        # Second emit: the offender is gone, the healthy sink still runs.
-        tracer.end(tracer.begin("b", "phase"))
-        assert [s.name for s in seen] == ["a", "b"]
+            complaints = [
+                r for r in records if r["event"] == "span_sink.quarantined"
+            ]
+            assert len(complaints) == 1
+            assert "boom" in complaints[0]["msg"]
+            # Second emit: the offender is gone, the healthy sink still runs.
+            tracer.end(tracer.begin("b", "phase"))
+            assert [s.name for s in seen] == ["a", "b"]
+            assert (
+                len([r for r in records if r["event"] == "span_sink.quarantined"])
+                == 1
+            )
+        finally:
+            obs.log_hub.remove_sink(records.append)
 
     def test_reset_drops_everything_but_keeps_active(self):
         tracer = Tracer()

@@ -31,16 +31,19 @@ class ServeClient:
         method: str,
         path: str,
         payload: Optional[dict] = None,
+        headers: Optional[dict] = None,
     ) -> Tuple[int, dict, bytes]:
         """-> ``(status, headers, raw body)``; chunked bodies are
         already de-chunked by ``http.client``."""
         conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             body = None if payload is None else json.dumps(payload).encode()
-            headers = (
+            merged = (
                 {} if body is None else {"Content-Type": "application/json"}
             )
-            conn.request(method, path, body=body, headers=headers)
+            if headers:
+                merged.update(headers)
+            conn.request(method, path, body=body, headers=merged)
             response = conn.getresponse()
             return response.status, dict(response.getheaders()), response.read()
         finally:

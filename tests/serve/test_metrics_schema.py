@@ -1,0 +1,191 @@
+"""Golden schema of ``/metrics``: JSON key set and Prometheus mapping.
+
+Scrapers and dashboards bind to these names; a rename or a bucket-bound
+change silently breaks recorded history.  This test pins the
+``repro-serve-metrics-v1`` document's key set and the derived
+Prometheus exposition — metric names, types, and the histogram ``le``
+labels, which must be the bit-identical :mod:`repro.obs.histogram`
+boundaries.
+"""
+
+import json
+import re
+
+from repro.obs.histogram import DEFAULT_BOUNDS
+from repro.serve.prometheus import exposition
+
+from .client import serving
+
+SCENARIO = {
+    "workload": "random",
+    "n": 6,
+    "f": 1,
+    "crashes": "random",
+    "max_rounds": 5000,
+}
+
+#: Top-level keys of the repro-serve-metrics-v1 document.
+DOCUMENT_KEYS = {
+    "schema",
+    "version",
+    "uptime_s",
+    "backend",
+    "requests",
+    "request_latency",
+    "cache",
+    "robustness",
+    "sweep",
+}
+
+#: Keys of the robustness block.
+ROBUSTNESS_KEYS = {
+    "ready",
+    "draining",
+    "breaker_state",
+    "breaker",
+    "inflight",
+    "max_inflight",
+    "sweep_weight",
+    "rejected",
+    "deadline_exceeded",
+    "coalesced",
+    "quarantined",
+}
+
+#: Keys of the cache block (ResultStore.counters()).
+CACHE_KEYS = {
+    "hits",
+    "disk_hits",
+    "misses",
+    "stores",
+    "quarantined",
+    "write_errors",
+    "read_errors",
+    "memory_entries",
+    "memory_limit",
+    "disk",
+}
+
+#: Prometheus families every scrape of a daemon that served one /run
+#: must contain, with their TYPE.
+EXPECTED_FAMILIES = {
+    "repro_serve_run_requests_total": "counter",
+    "repro_serve_cache_miss_total": "counter",
+    "repro_serve_run_latency_seconds": "histogram",
+    "repro_serve_cache_store_hits_total": "counter",
+    "repro_serve_cache_store_misses_total": "counter",
+    "repro_serve_cache_store_stores_total": "counter",
+    "repro_serve_cache_store_memory_entries": "gauge",
+    "repro_serve_cache_store_memory_limit": "gauge",
+    "repro_serve_ready": "gauge",
+    "repro_serve_draining": "gauge",
+    "repro_serve_inflight": "gauge",
+    "repro_serve_coalesced_total": "gauge",
+    "repro_serve_breaker_state": "gauge",
+    "repro_serve_uptime_seconds": "gauge",
+}
+
+
+def _scrape(client):
+    _, _, body = client.request(
+        "GET", "/metrics", headers={"Accept": "text/plain"}
+    )
+    return body.decode()
+
+
+def _families(text):
+    """{family name: declared TYPE} from a scrape."""
+    types = {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            types[name] = kind
+    return types
+
+
+class TestJsonDocumentGolden:
+    def test_top_level_key_set_is_pinned(self):
+        with serving() as client:
+            client.run(SCENARIO, seed=1)
+            document = client.metrics()
+        assert set(document) == DOCUMENT_KEYS
+        assert document["schema"] == "repro-serve-metrics-v1"
+        assert set(document["robustness"]) == ROBUSTNESS_KEYS
+        assert set(document["cache"]) == CACHE_KEYS
+
+    def test_histogram_entries_carry_bounds_and_counts(self):
+        with serving() as client:
+            client.run(SCENARIO, seed=1)
+            document = client.metrics()
+        hist = document["request_latency"]["serve.run.latency_seconds"]
+        assert hist["bounds"] == DEFAULT_BOUNDS
+        assert len(hist["counts"]) == len(DEFAULT_BOUNDS) + 1
+        assert hist["count"] == 1
+
+
+class TestPrometheusGolden:
+    def test_families_and_types(self):
+        with serving() as client:
+            client.run(SCENARIO, seed=1)
+            text = _scrape(client)
+        families = _families(text)
+        for name, kind in EXPECTED_FAMILIES.items():
+            assert families.get(name) == kind, name
+        # Non-numeric store fields (the disk root) must not leak out.
+        assert "disk" not in text.replace("disk_hits", "")
+
+    def test_histogram_bucket_bounds_are_bit_identical(self):
+        with serving() as client:
+            client.run(SCENARIO, seed=1)
+            text = _scrape(client)
+        les = re.findall(
+            r'repro_serve_run_latency_seconds_bucket\{le="([^"]+)"\}', text
+        )
+        assert les[:-1] == [repr(b) for b in DEFAULT_BOUNDS]
+        assert les[-1] == "+Inf"
+        # repr round-trips: parsing the label recovers the exact float.
+        assert [float(le) for le in les[:-1]] == DEFAULT_BOUNDS
+
+    def test_histogram_buckets_are_cumulative_and_consistent(self):
+        with serving() as client:
+            client.run(SCENARIO, seed=1)
+            client.run(SCENARIO, seed=1)
+            text = _scrape(client)
+        buckets = [
+            float(value)
+            for value in re.findall(
+                r'repro_serve_run_latency_seconds_bucket\{le="[^"]+"\} (\S+)',
+                text,
+            )
+        ]
+        assert buckets == sorted(buckets)  # cumulative: never decreases
+        count = float(
+            re.search(
+                r"repro_serve_run_latency_seconds_count (\S+)", text
+            ).group(1)
+        )
+        assert buckets[-1] == count == 2
+
+    def test_exposition_is_deterministic_for_a_document(self):
+        document = {
+            "schema": "repro-serve-metrics-v1",
+            "uptime_s": 1.5,
+            "requests": {"serve.run.requests": 3},
+            "request_latency": {},
+            "cache": {"hits": 1, "disk": None, "memory_entries": 1},
+            "robustness": {
+                "ready": True,
+                "draining": False,
+                "inflight": 0,
+                "max_inflight": None,
+                "coalesced": 0,
+                "breaker_state": "closed",
+            },
+        }
+        assert exposition(document) == exposition(document)
+        text = exposition(document)
+        assert "repro_serve_run_requests_total 3" in text
+        assert 'repro_serve_breaker_state{state="closed"} 1' in text
+        assert 'repro_serve_breaker_state{state="open"} 0' in text
+        assert "repro_serve_max_inflight" not in text
+        assert "repro_serve_uptime_seconds 1.5" in text
